@@ -1,0 +1,135 @@
+// Shared setup for the experiment benches (one binary per paper table /
+// figure). Every bench:
+//   * builds the synthetic workload at "bench scale" — small enough that
+//     the full sweep runs on a single CPU core, large enough that the
+//     comparative shapes of the paper's results emerge;
+//   * prints the paper-style table/series to stdout; and
+//   * mirrors the rows to a CSV file named fms_<bench>.csv in the CWD.
+// Set FMS_SCALE > 1 to lengthen schedules toward the paper's settings.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/stopwatch.h"
+#include "src/common/table.h"
+#include "src/core/retrain.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/nas/discrete_net.h"
+
+namespace fms::bench {
+
+inline int scaled(int rounds) {
+  return static_cast<int>(rounds * env_scale());
+}
+
+// Supernet scale used during search (paper: 8 cells, 4 nodes, C=16, 32x32).
+inline SupernetConfig search_supernet_config(int num_classes = 10) {
+  SupernetConfig cfg;
+  cfg.num_cells = 3;
+  cfg.num_nodes = 2;
+  cfg.stem_channels = 6;
+  cfg.image_size = 8;
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+// Evaluation-scale model (paper: 20 cells, C=36). Slightly deeper/wider
+// than the search supernet, mirroring the paper's search->evaluate scale-up.
+inline SupernetConfig eval_supernet_config(int num_classes = 10) {
+  SupernetConfig cfg = search_supernet_config(num_classes);
+  cfg.num_cells = 4;
+  cfg.stem_channels = 8;
+  return cfg;
+}
+
+inline SearchConfig bench_search_config(int num_classes = 10) {
+  SearchConfig cfg = default_config();
+  cfg.supernet = search_supernet_config(num_classes);
+  cfg.schedule.batch_size = 16;
+  cfg.schedule.num_participants = 10;
+  cfg.augment.cutout = 2;
+  cfg.augment.random_clip = 1;
+  return cfg;
+}
+
+inline SynthSpec bench_synth_spec() {
+  SynthSpec spec;
+  spec.train_size = 1500;
+  spec.test_size = 400;
+  spec.image_size = 8;
+  return spec;
+}
+
+struct Workload {
+  TrainTest data;
+  std::vector<std::vector<int>> partition;
+};
+
+enum class Dist { kIid, kDirichlet };
+
+inline Workload make_workload_c10(int participants, Dist dist,
+                                  std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Workload w{make_synth_c10(bench_synth_spec(), rng), {}};
+  Rng part_rng(seed ^ 0x9a27);
+  w.partition =
+      dist == Dist::kIid
+          ? iid_partition(w.data.train.size(), participants, part_rng)
+          : dirichlet_partition(w.data.train.labels(), 10, participants, 0.5,
+                                part_rng);
+  return w;
+}
+
+inline Workload make_workload_svhn(int participants, Dist dist,
+                                   std::uint64_t seed = 2) {
+  Rng rng(seed);
+  Workload w{make_synth_svhn(bench_synth_spec(), rng), {}};
+  Rng part_rng(seed ^ 0x51a7);
+  w.partition =
+      dist == Dist::kIid
+          ? iid_partition(w.data.train.size(), participants, part_rng)
+          : dirichlet_partition(w.data.train.labels(), 10, participants, 0.5,
+                                part_rng);
+  return w;
+}
+
+inline Workload make_workload_c100(int participants, Dist dist,
+                                   std::uint64_t seed = 3) {
+  Rng rng(seed);
+  SynthSpec spec = bench_synth_spec();
+  spec.train_size = 3000;  // 100 classes need more samples
+  spec.test_size = 500;
+  Workload w{make_synth_c100(spec, rng), {}};
+  Rng part_rng(seed ^ 0xc100);
+  w.partition =
+      dist == Dist::kIid
+          ? iid_partition(w.data.train.size(), participants, part_rng)
+          : dirichlet_partition(w.data.train.labels(), 100, participants, 0.5,
+                                part_rng);
+  return w;
+}
+
+// Runs warm-up + search and returns the searcher (for genotype/stats).
+inline std::unique_ptr<FederatedSearch> run_search(
+    const Workload& w, const SearchConfig& cfg, int warmup_rounds,
+    int search_rounds, const SearchOptions& opts,
+    std::vector<RoundRecord>* search_records = nullptr) {
+  auto search = std::make_unique<FederatedSearch>(cfg, w.data.train,
+                                                  w.partition);
+  search->run_warmup(warmup_rounds);
+  auto records = search->run_search(search_rounds, opts);
+  if (search_records != nullptr) *search_records = std::move(records);
+  return search;
+}
+
+// Percentage error (the paper reports Error(%)).
+inline double error_pct(double accuracy) { return 100.0 * (1.0 - accuracy); }
+
+inline std::string mb(double bytes) {
+  return Table::num(bytes / (1024.0 * 1024.0), 3);
+}
+
+}  // namespace fms::bench

@@ -1,0 +1,63 @@
+// Fig. 10 — average accuracy vs communication rounds on non-i.i.d.
+// SynthSVHN during federated retraining: our searched model vs the big
+// pre-defined model. (The paper compares the same pair on SVHN; FedNAS is
+// only shown for CIFAR10.)
+#include "bench/bench_common.h"
+#include "src/baselines/resnet_style.h"
+
+int main() {
+  using namespace fms;
+  bench::Workload w = bench::make_workload_svhn(10, bench::Dist::kDirichlet);
+  SearchConfig cfg = bench::bench_search_config();
+  const int rounds = bench::scaled(100);
+  SGD::Options fl_opts{cfg.retrain.lr_federated, cfg.retrain.momentum_federated,
+                       cfg.retrain.weight_decay_federated,
+                       cfg.retrain.clip_federated};
+
+  auto search = bench::run_search(w, cfg, bench::scaled(90),
+                                  bench::scaled(110), SearchOptions{});
+  // The paper uses a shallower final model for SVHN (16 cells vs 20).
+  SupernetConfig eval_cfg = bench::eval_supernet_config();
+  eval_cfg.num_cells = 3;
+  Rng ours_rng(1);
+  DiscreteNet ours(search->derive(), eval_cfg, ours_rng);
+
+  ResNetStyleConfig rcfg;
+  Rng rn_rng(2);
+  ResNetStyle resnet(rcfg, rn_rng);
+
+  Rng t1(11), t2(12);
+  RetrainResult r_ours = federated_train(ours, w.data.train, w.partition,
+                                         w.data.test, rounds, 16, fl_opts,
+                                         nullptr, t1, 10);
+  RetrainResult r_resnet = federated_train(resnet, w.data.train, w.partition,
+                                           w.data.test, rounds, 16, fl_opts,
+                                           nullptr, t2, 10);
+
+  Series s("Fig. 10 — Average Accuracy vs Rounds on Non-i.i.d. SynthSVHN "
+           "(federated P3)");
+  s.axes("round", {"ours_train", "resnet_train", "ours_val", "resnet_val"});
+  for (int i = 0; i < rounds; ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    s.point(i, {r_ours.curve[ii].train_acc, r_resnet.curve[ii].train_acc,
+                r_ours.curve[ii].val_acc, r_resnet.curve[ii].val_acc});
+  }
+  s.print(std::cout, std::max<std::size_t>(1, static_cast<std::size_t>(rounds) / 20));
+  s.write_csv("fms_fig10_rounds_svhn.csv");
+
+  std::printf("\nfinal val acc — ours %.3f (%.2fM params), resnet %.3f "
+              "(%.2fM params)\n",
+              r_ours.final_test_accuracy, ours.param_count() / 1e6,
+              r_resnet.final_test_accuracy, resnet.param_count() / 1e6);
+  // The synthetic digit task is easy enough that the big model can
+  // saturate it; the claim that transfers from the paper is "competitive
+  // accuracy at a fraction of the parameters".
+  std::printf("shape check (within 0.08 of the fixed model at <1/5 the "
+              "params): %s\n",
+              (r_ours.final_test_accuracy >=
+                   r_resnet.final_test_accuracy - 0.08 &&
+               5 * ours.param_count() < resnet.param_count())
+                  ? "OK"
+                  : "NOT REPRODUCED");
+  return 0;
+}

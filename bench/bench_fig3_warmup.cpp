@@ -1,0 +1,33 @@
+// Fig. 3 — warm-up phase (P1) on i.i.d. SynthC10.
+//
+// Plots the average training accuracy of the 10 participants' sampled
+// sub-models per round plus the 50-round moving average. The paper's
+// curve rises from chance toward convergence; the shape (steady rise,
+// noisy per-round line, smooth moving average) is the reproduction
+// target.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fms;
+  bench::Workload w = bench::make_workload_c10(10, bench::Dist::kIid);
+  SearchConfig cfg = bench::bench_search_config();
+  FederatedSearch search(cfg, w.data.train, w.partition);
+  const int rounds = bench::scaled(220);
+  auto records = search.run_warmup(rounds);
+
+  Series s("Fig. 3 — Warm-up Phase on i.i.d. SynthC10 (avg participant "
+           "training accuracy)");
+  s.axes("round", {"train_acc", "moving_avg_50"});
+  for (const auto& r : records) {
+    s.point(r.round, {r.mean_reward, r.moving_avg});
+  }
+  s.print(std::cout, std::max<std::size_t>(1, records.size() / 25));
+  s.write_csv("fms_fig3_warmup.csv");
+
+  const double start = records.front().moving_avg;
+  const double end = records.back().moving_avg;
+  std::printf("\nmoving average: %.3f -> %.3f (chance = 0.100)\n", start, end);
+  std::printf("shape check (rises during warm-up): %s\n",
+              end > start + 0.03 ? "OK" : "NOT REPRODUCED");
+  return 0;
+}

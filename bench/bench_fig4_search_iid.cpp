@@ -1,0 +1,32 @@
+// Fig. 4 — searching phase (P2) on i.i.d. SynthC10: joint alpha + theta
+// optimization after warm-up. The paper's curve continues to climb past
+// the warm-up level as the controller concentrates probability mass on
+// stronger operations.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fms;
+  bench::Workload w = bench::make_workload_c10(10, bench::Dist::kIid);
+  SearchConfig cfg = bench::bench_search_config();
+  FederatedSearch search(cfg, w.data.train, w.partition);
+  const int warmup = bench::scaled(120);
+  const int steps = bench::scaled(160);
+  auto warm_records = search.run_warmup(warmup);
+  auto records = search.run_search(steps, SearchOptions{});
+
+  Series s("Fig. 4 — Searching Phase on i.i.d. SynthC10");
+  s.axes("round", {"train_acc", "moving_avg_50"});
+  for (const auto& r : records) s.point(r.round, {r.mean_reward, r.moving_avg});
+  s.print(std::cout, std::max<std::size_t>(1, records.size() / 25));
+  s.write_csv("fms_fig4_search_iid.csv");
+
+  std::printf("\nwarm-up end moving avg: %.3f, search end moving avg: %.3f\n",
+              warm_records.back().moving_avg, records.back().moving_avg);
+  std::printf("derived genotype: %s\n", search.derive().to_string().c_str());
+  std::printf("shape check (search continues to improve): %s\n",
+              records.back().moving_avg >
+                      warm_records.back().moving_avg - 0.01
+                  ? "OK"
+                  : "NOT REPRODUCED");
+  return 0;
+}

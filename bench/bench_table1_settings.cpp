@@ -1,0 +1,51 @@
+// Table I — default experimental settings.
+//
+// Prints the paper's default hyperparameters next to the values this
+// CPU-scale reproduction uses (FMS_SCALE lengthens schedules toward the
+// paper's numbers).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fms;
+  SearchConfig cfg = bench::bench_search_config();
+  Table t("Table I — Default Experimental Settings (paper vs this repro)");
+  t.columns({"name", "paper", "repro"});
+  t.row({"batch size", "256", std::to_string(cfg.schedule.batch_size)});
+  t.row({"# participants (K)", "10",
+         std::to_string(cfg.schedule.num_participants)});
+  t.row({"learning rate (theta)", "0.025", Table::num(cfg.theta.learning_rate, 3)});
+  t.row({"momentum (theta)", "0.9", Table::num(cfg.theta.momentum, 2)});
+  t.row({"weight decay (theta)", "0.0003",
+         Table::num(cfg.theta.weight_decay, 4)});
+  t.row({"gradient clip (theta)", "5", Table::num(cfg.theta.gradient_clip, 0)});
+  t.row({"learning rate (alpha)", "0.003",
+         Table::num(cfg.alpha.learning_rate, 3)});
+  t.row({"weight decay (alpha)", "0.0001",
+         Table::num(cfg.alpha.weight_decay, 4)});
+  t.row({"gradient clip (alpha)", "5", Table::num(cfg.alpha.gradient_clip, 0)});
+  t.row({"baseline decay (alpha)", "0.99",
+         Table::num(cfg.alpha.baseline_decay, 2)});
+  t.row({"learning rate (P3, centralized)", "0.025",
+         Table::num(cfg.retrain.lr_centralized, 3)});
+  t.row({"learning rate (P3, FL)", "0.1",
+         Table::num(cfg.retrain.lr_federated, 2)});
+  t.row({"momentum (P3, FL)", "0.5",
+         Table::num(cfg.retrain.momentum_federated, 2)});
+  t.row({"weight decay (P3, FL)", "0.005",
+         Table::num(cfg.retrain.weight_decay_federated, 3)});
+  t.row({"cutout", "16", std::to_string(cfg.augment.cutout)});
+  t.row({"random clip", "4", std::to_string(cfg.augment.random_clip)});
+  t.row({"random horizontal flipping", "0.5",
+         Table::num(cfg.augment.horizontal_flip_p, 1)});
+  t.row({"# warm-up steps", "10000",
+         std::to_string(bench::scaled(cfg.schedule.warmup_steps))});
+  t.row({"# searching steps", "6000",
+         std::to_string(bench::scaled(cfg.schedule.search_steps))});
+  t.row({"# training epochs", "600",
+         std::to_string(bench::scaled(cfg.schedule.retrain_epochs))});
+  t.row({"# FL training steps", "6000",
+         std::to_string(bench::scaled(cfg.schedule.fl_train_steps))});
+  t.print();
+  t.write_csv("fms_table1_settings.csv");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table II — centralized evaluation accuracies of searched models on
+// i.i.d. SynthC10.
+//
+// Top half: centralized NAS baselines (DARTS 1st/2nd order, ENAS) vs our
+// federated RL search, all retrained centrally (P3) and tested (P4).
+// Bottom half: delay-compensated variants — use / throw / ours at 70%
+// staleness, and ours at 10% staleness.
+#include "bench/bench_common.h"
+#include "src/baselines/enas.h"
+#include "src/baselines/gradient_nas.h"
+
+namespace {
+
+using namespace fms;
+
+struct Row {
+  std::string method;
+  Genotype genotype;
+  std::string strategy;
+  bool fl = false;
+};
+
+double retrain_and_eval(const Genotype& g, const bench::Workload& w,
+                        double* param_m, std::uint64_t seed) {
+  SupernetConfig eval_cfg = bench::eval_supernet_config();
+  Rng net_rng(seed);
+  DiscreteNet net(g, eval_cfg, net_rng);
+  if (param_m != nullptr) {
+    *param_m = static_cast<double>(net.param_count()) / 1e6;
+  }
+  SearchConfig cfg = bench::bench_search_config();
+  SGD::Options opts{cfg.retrain.lr_centralized, cfg.retrain.momentum_centralized,
+                    cfg.retrain.weight_decay_centralized,
+                    cfg.retrain.clip_centralized};
+  Rng train_rng(seed ^ 0x7e57);
+  AugmentConfig aug = cfg.augment;
+  RetrainResult res =
+      centralized_train(net, w.data.train, w.data.test, bench::scaled(4), 32,
+                        opts, &aug, train_rng, 1);
+  return res.best_test_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fms;
+  bench::Workload w = bench::make_workload_c10(10, bench::Dist::kIid);
+  SearchConfig cfg = bench::bench_search_config();
+  const int warmup = bench::scaled(80);
+  const int steps = bench::scaled(100);
+
+  std::vector<Row> rows;
+
+  // --- centralized baselines ---
+  {
+    DartsSearch darts(cfg.supernet, w.data.train, w.data.test, cfg,
+                      DartsSearch::Options{});
+    rows.push_back({"DARTS (1st order)", darts.run(bench::scaled(40), 16).genotype,
+                    "grad", false});
+  }
+  {
+    DartsSearch::Options o;
+    o.second_order = true;
+    DartsSearch darts(cfg.supernet, w.data.train, w.data.test, cfg, o);
+    rows.push_back({"DARTS (2nd order)", darts.run(bench::scaled(25), 16).genotype,
+                    "grad", false});
+  }
+  {
+    EnasSearch enas(cfg.supernet, w.data.train, cfg);
+    rows.push_back({"ENAS", enas.run(bench::scaled(120), 16, 4).genotype, "RL",
+                    false});
+  }
+
+  // --- ours and the staleness ablation ---
+  auto ours_with = [&](StalePolicy policy, const StalenessDistribution& dist,
+                       const char* name) {
+    SearchOptions opts;
+    opts.stale_policy = policy;
+    opts.staleness = dist;
+    auto search = bench::run_search(w, cfg, warmup, steps, opts);
+    rows.push_back({name, search->derive(), "RL", true});
+  };
+  ours_with(StalePolicy::kHardSync, StalenessDistribution::none(), "Ours");
+  ours_with(StalePolicy::kUseStale, StalenessDistribution::severe(),
+            "use (70% staleness)");
+  ours_with(StalePolicy::kDrop, StalenessDistribution::severe(),
+            "throw (70% staleness)");
+  ours_with(StalePolicy::kCompensate, StalenessDistribution::severe(),
+            "Ours (70% staleness)");
+  ours_with(StalePolicy::kCompensate, StalenessDistribution::slight(),
+            "Ours (10% staleness)");
+
+  Table t("Table II — Centralized Evaluation Accuracies of Searched Models "
+          "on SynthC10 (i.i.d.)");
+  t.columns({"Method", "Error(%)", "Param(M)", "Strategy", "FL", "NAS"});
+  std::uint64_t seed = 101;
+  for (const auto& row : rows) {
+    double param_m = 0.0;
+    const double acc = retrain_and_eval(row.genotype, w, &param_m, seed++);
+    t.row({row.method, Table::num(bench::error_pct(acc), 2),
+           Table::num(param_m, 3), row.strategy, row.fl ? "yes" : "no", "yes"});
+  }
+  t.print();
+  t.write_csv("fms_table2_centralized.csv");
+  std::printf(
+      "\npaper reference: DARTS1=3.00 DARTS2=2.81 ENAS=2.89 Ours=2.62 | "
+      "use70=2.84 throw70=3.00 Ours70=2.72 Ours10=2.59 (Error%%)\n"
+      "shape targets: Ours competitive with centralized NAS; "
+      "compensate < use < throw at 70%% staleness.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Table IV — federated evaluation accuracies of searched models on
+// NON-i.i.d. datasets (per-class Dirichlet(0.5) partitions): SynthC10 and
+// SynthSVHN. Baselines: FedAvg with a big pre-defined residual model
+// (the paper uses ResNet152, 58.2M params), FedNAS, EvoFedNAS.
+#include "bench/bench_common.h"
+#include "src/baselines/evofednas.h"
+#include "src/baselines/gradient_nas.h"
+#include "src/baselines/resnet_style.h"
+
+namespace {
+
+using namespace fms;
+
+double federated_eval(TrainableNet& net, const bench::Workload& w,
+                      const SearchConfig& cfg, int rounds, Rng& rng) {
+  SGD::Options opts{cfg.retrain.lr_federated, cfg.retrain.momentum_federated,
+                    cfg.retrain.weight_decay_federated,
+                    cfg.retrain.clip_federated};
+  RetrainResult res = federated_train(net, w.data.train, w.partition,
+                                      w.data.test, rounds, 16, opts, nullptr,
+                                      rng, 20);
+  return res.best_test_accuracy;
+}
+
+void run_dataset(Table& t, const bench::Workload& w, const char* tag,
+                 std::uint64_t seed, bool include_nas_baselines) {
+  SearchConfig cfg = bench::bench_search_config();
+  const int fl_rounds = bench::scaled(50);
+
+  {  // FedAvg* with the big fixed model.
+    ResNetStyleConfig rcfg;
+    rcfg.base_channels = 16;
+    rcfg.stage_blocks = {1, 1, 1};
+    Rng rng(seed + 1);
+    ResNetStyle net(rcfg, rng);
+    Rng train_rng(seed + 2);
+    const double acc = federated_eval(net, w, cfg, fl_rounds, train_rng);
+    t.row({std::string("FedAvg* ") + tag, Table::num(bench::error_pct(acc), 2),
+           Table::num(net.param_count() / 1e6, 3), "hand", "no"});
+  }
+  if (include_nas_baselines) {
+    {  // FedNAS (full-supernet gradient-based).
+      FedNasSearch fednas(cfg.supernet, w.data.train, w.partition, cfg);
+      GradNasResult res = fednas.run(bench::scaled(20), 16);
+      SupernetConfig eval_cfg = bench::eval_supernet_config();
+      Rng net_rng(seed + 3);
+      DiscreteNet net(res.genotype, eval_cfg, net_rng);
+      Rng train_rng(seed + 4);
+      const double acc = federated_eval(net, w, cfg, fl_rounds, train_rng);
+      t.row({std::string("FedNAS ") + tag, Table::num(bench::error_pct(acc), 2),
+             Table::num(net.param_count() / 1e6, 3), "grad", "yes"});
+    }
+    for (int nodes : {2, 1}) {  // EvoFedNAS big/small.
+      EvoFedNasSearch::Options eopts;
+      eopts.nodes = nodes;
+      eopts.population = 6;
+      eopts.evolve_every = 8;
+      EvoFedNasSearch evo(cfg.supernet, w.data.train, w.partition, cfg, eopts);
+      auto res = evo.run(bench::scaled(30), 16);
+      SupernetConfig eval_cfg = bench::eval_supernet_config();
+      eval_cfg.num_nodes = nodes;
+      Rng net_rng(seed + 5 + nodes);
+      DiscreteNet net(res.best, eval_cfg, net_rng);
+      Rng train_rng(seed + 8 + nodes);
+      const double acc = federated_eval(net, w, cfg, fl_rounds, train_rng);
+      t.row({std::string(nodes == 2 ? "EvoFedNAS(big) " : "EvoFedNAS(small) ") +
+                 tag,
+             Table::num(bench::error_pct(acc), 2),
+             Table::num(net.param_count() / 1e6, 3), "evol", "yes"});
+    }
+  }
+  {  // Ours, searched on the same non-i.i.d. partition.
+    auto search = bench::run_search(w, cfg, bench::scaled(60),
+                                    bench::scaled(90), SearchOptions{});
+    SupernetConfig eval_cfg = bench::eval_supernet_config();
+    Rng net_rng(seed + 11);
+    DiscreteNet net(search->derive(), eval_cfg, net_rng);
+    Rng train_rng(seed + 12);
+    const double acc = federated_eval(net, w, cfg, fl_rounds, train_rng);
+    t.row({std::string("Ours (non-i.i.d.) ") + tag,
+           Table::num(bench::error_pct(acc), 2),
+           Table::num(net.param_count() / 1e6, 3), "RL", "yes"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fms;
+  Table t("Table IV — Federated Evaluation on Non-i.i.d. Datasets "
+          "(Dirichlet 0.5)");
+  t.columns({"Method", "Error(%)", "Param(M)", "Strategy", "NAS"});
+
+  bench::Workload c10 = bench::make_workload_c10(10, bench::Dist::kDirichlet);
+  run_dataset(t, c10, "[SynthC10]", 100, /*include_nas_baselines=*/true);
+  bench::Workload svhn =
+      bench::make_workload_svhn(10, bench::Dist::kDirichlet);
+  run_dataset(t, svhn, "[SynthSVHN]", 200, /*include_nas_baselines=*/false);
+
+  t.print();
+  t.write_csv("fms_table4_noniid.csv");
+  std::printf(
+      "\npaper reference (CIFAR10): FedAvg*=22.40 (58.2M) FedNAS=18.76 "
+      "(4.2M) EvoFedNAS(big)=18.73 EvoFedNAS(small)=21.06 Ours=18.56 "
+      "(3.9M); (SVHN): FedAvg*=10.78 Ours=10.23 (2.5M)\n"
+      "shape targets: searched models beat the big fixed model on "
+      "non-i.i.d. data with far fewer parameters.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Command-line front end for the federated model search — the entry point
+// a downstream user would script against.
+//
+// Usage:
+//   fms_search_cli [--participants N] [--rounds N] [--warmup N]
+//                  [--noniid] [--staleness none|severe|slight]
+//                  [--policy compensate|use|throw]
+//                  [--checkpoint PATH] [--genotype-out PATH] [--seed N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/checkpoint.h"
+#include "src/core/retrain.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/nas/discrete_net.h"
+#include "src/nas/dot_export.h"
+
+namespace {
+
+const char* kUsage =
+    "usage: fms_search_cli [--participants N] [--rounds N] [--warmup N]\n"
+    "                      [--noniid] [--staleness none|severe|slight]\n"
+    "                      [--policy compensate|use|throw]\n"
+    "                      [--checkpoint PATH] [--genotype-out PATH]\n"
+    "                      [--dot-out PATH] [--seed N]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fms;
+  int participants = 10;
+  int rounds = 150;
+  int warmup = 100;
+  bool noniid = false;
+  std::string staleness = "none";
+  std::string policy_name = "compensate";
+  std::string checkpoint_path;
+  std::string genotype_out;
+  std::string dot_out;
+  std::uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", flag, kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--participants")) {
+      participants = std::atoi(need_value("--participants"));
+    } else if (!std::strcmp(argv[i], "--rounds")) {
+      rounds = std::atoi(need_value("--rounds"));
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      warmup = std::atoi(need_value("--warmup"));
+    } else if (!std::strcmp(argv[i], "--noniid")) {
+      noniid = true;
+    } else if (!std::strcmp(argv[i], "--staleness")) {
+      staleness = need_value("--staleness");
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      policy_name = need_value("--policy");
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      checkpoint_path = need_value("--checkpoint");
+    } else if (!std::strcmp(argv[i], "--genotype-out")) {
+      genotype_out = need_value("--genotype-out");
+    } else if (!std::strcmp(argv[i], "--dot-out")) {
+      dot_out = need_value("--dot-out");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n%s", argv[i], kUsage);
+      return 2;
+    }
+  }
+  if (participants < 1 || rounds < 0 || warmup < 0) {
+    std::fprintf(stderr, "invalid arguments\n%s", kUsage);
+    return 2;
+  }
+
+  Rng rng(seed);
+  SynthSpec spec;
+  spec.train_size = 1200;
+  spec.test_size = 300;
+  spec.image_size = 8;
+  TrainTest data = make_synth_c10(spec, rng);
+  auto partition =
+      noniid ? dirichlet_partition(data.train.labels(), 10, participants, 0.5,
+                                   rng)
+             : iid_partition(data.train.size(), participants, rng);
+
+  SearchConfig cfg = default_config();
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 6;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 16;
+  cfg.schedule.num_participants = participants;
+  cfg.seed = seed;
+
+  SearchOptions opts;
+  if (staleness == "severe") {
+    opts.staleness = StalenessDistribution::severe();
+  } else if (staleness == "slight") {
+    opts.staleness = StalenessDistribution::slight();
+  } else if (staleness != "none") {
+    std::fprintf(stderr, "unknown staleness '%s'\n%s", staleness.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (staleness != "none") {
+    if (policy_name == "compensate") {
+      opts.stale_policy = StalePolicy::kCompensate;
+    } else if (policy_name == "use") {
+      opts.stale_policy = StalePolicy::kUseStale;
+    } else if (policy_name == "throw") {
+      opts.stale_policy = StalePolicy::kDrop;
+    } else {
+      std::fprintf(stderr, "unknown policy '%s'\n%s", policy_name.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+
+  FederatedSearch search(cfg, data.train, partition);
+  search.on_round = [](const RoundRecord& r) {
+    if (r.round % 25 == 0) {
+      std::printf("round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d\n",
+                  r.round, r.mean_reward, r.moving_avg, r.arrived, r.dropped);
+    }
+  };
+  std::printf("warm-up: %d rounds, search: %d rounds, K=%d, %s, "
+              "staleness=%s/%s\n",
+              warmup, rounds, participants, noniid ? "non-iid" : "iid",
+              staleness.c_str(),
+              staleness == "none" ? "-" : policy_name.c_str());
+  search.run_warmup(warmup);
+  search.run_search(rounds, opts);
+
+  Genotype genotype = search.derive();
+  std::printf("searched: %s\n", genotype.to_string().c_str());
+  std::printf("payload: supernet %.1f KB vs avg sub-model %.1f KB\n",
+              search.supernet_bytes() / 1024.0,
+              search.avg_submodel_bytes() / 1024.0);
+
+  if (!checkpoint_path.empty()) {
+    write_checkpoint_file(
+        checkpoint_path,
+        make_checkpoint(search.supernet(), search.policy(),
+                        cfg.supernet.num_nodes, warmup + rounds));
+    std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
+  }
+  if (!genotype_out.empty()) {
+    write_genotype_file(genotype_out, genotype);
+    std::printf("genotype written to %s\n", genotype_out.c_str());
+  }
+  if (!dot_out.empty()) {
+    write_dot_file(dot_out, genotype);
+    std::printf("graphviz cell diagram written to %s\n", dot_out.c_str());
+  }
+  return 0;
+}

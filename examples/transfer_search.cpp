@@ -1,0 +1,58 @@
+// Transferability (paper §VI-E): search once on a small 10-class dataset,
+// then deploy the discovered cell on a 100-class dataset by restacking it
+// with a wider/deeper configuration and a new classifier.
+#include <cstdio>
+
+#include "src/core/retrain.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/nas/discrete_net.h"
+
+int main() {
+  using namespace fms;
+  Rng rng(31);
+  SynthSpec spec;
+  spec.train_size = 1200;
+  spec.test_size = 300;
+  spec.image_size = 8;
+  TrainTest c10 = make_synth_c10(spec, rng);
+  auto partition = iid_partition(c10.train.size(), 10, rng);
+
+  SearchConfig cfg = default_config();
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 6;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 16;
+
+  std::printf("== searching on the 10-class dataset ==\n");
+  FederatedSearch search(cfg, c10.train, partition);
+  search.run_warmup(120);
+  search.run_search(150, SearchOptions{});
+  Genotype genotype = search.derive();
+  std::printf("cell found: %s\n\n", genotype.to_string().c_str());
+
+  // The 100-class target shares the texture family of the search dataset
+  // (as CIFAR100 shares CIFAR10's domain).
+  SynthSpec spec100 = spec;
+  spec100.train_size = 2400;
+  spec100.test_size = 500;
+  Rng rng100(32);
+  TrainTest c100 = make_synth_c100(spec100, rng100);
+
+  std::printf("== transferring the cell to the 100-class dataset ==\n");
+  SupernetConfig deploy = cfg.supernet;
+  deploy.num_classes = 100;
+  deploy.num_cells = 4;       // restack deeper for the harder task
+  deploy.stem_channels = 8;   // and wider
+  Rng net_rng(33);
+  DiscreteNet model(genotype, deploy, net_rng);
+  Rng train_rng(34);
+  RetrainResult res = centralized_train(
+      model, c100.train, c100.test, /*epochs=*/5, /*batch=*/32,
+      SGD::Options{0.025F, 0.9F, 3e-4F, 5.0F}, nullptr, train_rng);
+  std::printf("transferred model: %.2fM params, 100-class test accuracy "
+              "%.3f (chance = 0.010)\n",
+              model.param_count() / 1e6, res.final_test_accuracy);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/baselines/enas.h"
+
+#include <numeric>
+
+#include "src/tensor/ops.h"
+
+namespace fms {
+
+EnasSearch::EnasSearch(const SupernetConfig& cfg, const Dataset& train,
+                       const SearchConfig& hyper)
+    : cfg_(cfg),
+      rng_(hyper.seed ^ 0xe9a5),
+      policy_(Cell::num_edges(cfg.num_nodes), hyper.alpha),
+      theta_opt_(SGD::Options{hyper.theta.learning_rate, hyper.theta.momentum,
+                              hyper.theta.weight_decay,
+                              hyper.theta.gradient_clip}) {
+  Rng net_rng = rng_.fork();
+  supernet_ = std::make_unique<Supernet>(cfg, net_rng);
+  std::vector<int> idx(static_cast<std::size_t>(train.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  data_ = Shard(&train, idx);
+}
+
+EnasSearch::Result EnasSearch::run(int steps, int batch_size,
+                                   int models_per_step) {
+  Result result;
+  for (int step = 0; step < steps; ++step) {
+    supernet_->zero_grad();
+    double acc_sum = 0.0;
+    std::vector<std::pair<double, Mask>> sampled;
+    for (int m = 0; m < models_per_step; ++m) {
+      Mask mask = policy_.sample(rng_);
+      Dataset::Batch batch = data_.next_batch(batch_size, nullptr, rng_);
+      Tensor logits = supernet_->forward(batch.x, mask, true);
+      CrossEntropyResult ce = cross_entropy(logits, batch.y);
+      supernet_->backward(ce.grad_logits);
+      acc_sum += ce.accuracy;
+      sampled.emplace_back(ce.accuracy, std::move(mask));
+    }
+    const double mean_acc = acc_sum / models_per_step;
+    result.step_train_acc.push_back(mean_acc);
+
+    // Shared-weight update: average over the sampled sub-models.
+    const float inv_m = 1.0F / static_cast<float>(models_per_step);
+    for (Param* p : supernet_->params()) {
+      for (float& g : p->grad.vec()) g *= inv_m;
+    }
+    theta_opt_.step(supernet_->params());
+
+    // REINFORCE with the moving-average baseline.
+    const double b = policy_.update_baseline(mean_acc);
+    AlphaPair grad_j = AlphaPair::zeros(policy_.num_edges());
+    for (const auto& [acc, mask] : sampled) {
+      grad_j.add_scaled(policy_.log_prob_grad(mask),
+                        static_cast<float>(acc - b) /
+                            static_cast<float>(models_per_step));
+    }
+    policy_.apply_gradient(grad_j);
+  }
+  result.genotype = policy_.derive_genotype(cfg_.num_nodes);
+  return result;
+}
+
+}  // namespace fms

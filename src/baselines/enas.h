@@ -1,0 +1,41 @@
+// Centralized ENAS-style baseline (Pham et al.): RL controller + shared
+// supernet weights on a single (centralized) dataset. Uses the same
+// ArchPolicy / masked-supernet machinery as the federated method, minus
+// the federation — the Table II reference point for "RL-based NAS without
+// the FL setting".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/data/dataset.h"
+#include "src/nn/optim.h"
+#include "src/rl/policy.h"
+
+namespace fms {
+
+class EnasSearch {
+ public:
+  EnasSearch(const SupernetConfig& cfg, const Dataset& train,
+             const SearchConfig& hyper);
+
+  struct Result {
+    Genotype genotype;
+    std::vector<double> step_train_acc;
+  };
+
+  // Each step samples `models_per_step` sub-models, trains each on one
+  // batch (shared-weight updates), and applies one REINFORCE update.
+  Result run(int steps, int batch_size, int models_per_step = 4);
+
+ private:
+  SupernetConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Supernet> supernet_;
+  ArchPolicy policy_;
+  SGD theta_opt_;
+  Shard data_;
+};
+
+}  // namespace fms

@@ -1,0 +1,123 @@
+#include "src/baselines/evofednas.h"
+
+#include <algorithm>
+
+#include "src/tensor/ops.h"
+
+namespace fms {
+
+Genotype random_genotype(int nodes, Rng& rng) {
+  Genotype g;
+  g.nodes = nodes;
+  auto fill = [&](std::vector<GenotypeEdge>& edges) {
+    for (int node = 0; node < nodes; ++node) {
+      const int num_inputs = 2 + node;
+      int a = rng.randint(0, num_inputs - 1);
+      int b = rng.randint(0, num_inputs - 1);
+      if (num_inputs > 1) {
+        while (b == a) b = rng.randint(0, num_inputs - 1);
+      }
+      if (a > b) std::swap(a, b);
+      for (int input : {a, b}) {
+        // Non-zero ops only (a zero edge would be a dead connection).
+        const int op = rng.randint(1, kNumOps - 1);
+        edges.push_back({input, static_cast<OpType>(op)});
+      }
+    }
+  };
+  fill(g.normal);
+  fill(g.reduce);
+  return g;
+}
+
+Genotype mutate_genotype(const Genotype& parent, Rng& rng) {
+  Genotype child = parent;
+  auto& edges = rng.bernoulli(0.5) ? child.normal : child.reduce;
+  const int i = rng.randint(0, static_cast<int>(edges.size()) - 1);
+  if (rng.bernoulli(0.5)) {
+    edges[static_cast<std::size_t>(i)].op =
+        static_cast<OpType>(rng.randint(1, kNumOps - 1));
+  } else {
+    const int node = i / 2;
+    edges[static_cast<std::size_t>(i)].input = rng.randint(0, 1 + node);
+  }
+  return child;
+}
+
+EvoFedNasSearch::EvoFedNasSearch(const SupernetConfig& cfg,
+                                 const Dataset& train,
+                                 const std::vector<std::vector<int>>& partition,
+                                 const SearchConfig& hyper, Options opts)
+    : cfg_(cfg), hyper_(hyper), opts_(opts), rng_(hyper.seed ^ 0xe40) {
+  cfg_.num_nodes = opts.nodes;
+  for (const auto& p : partition) shards_.emplace_back(&train, p);
+  for (int i = 0; i < opts_.population; ++i) {
+    population_.push_back(make_individual(random_genotype(opts_.nodes, rng_)));
+  }
+}
+
+EvoFedNasSearch::Individual EvoFedNasSearch::make_individual(
+    const Genotype& g) {
+  Individual ind;
+  ind.genotype = g;
+  Rng net_rng = rng_.fork();
+  ind.net = std::make_unique<DiscreteNet>(g, cfg_, net_rng);
+  ind.opt = std::make_unique<SGD>(
+      SGD::Options{hyper_.theta.learning_rate, hyper_.theta.momentum,
+                   hyper_.theta.weight_decay, hyper_.theta.gradient_clip});
+  return ind;
+}
+
+EvoFedNasSearch::Result EvoFedNasSearch::run(int rounds, int batch_size) {
+  Result result;
+  const int k = static_cast<int>(shards_.size());
+  double bytes_sum = 0.0;
+  std::size_t dispatches = 0;
+  for (int round = 0; round < rounds; ++round) {
+    double acc_sum = 0.0;
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      Individual& ind = population_[i];
+      // Whole candidate model travels to its participant each round.
+      bytes_sum += static_cast<double>(ind.net->model_bytes());
+      ++dispatches;
+      Shard& shard =
+          shards_[(i + static_cast<std::size_t>(round)) % static_cast<std::size_t>(k)];
+      Dataset::Batch batch = shard.next_batch(batch_size, nullptr, rng_);
+      ind.net->zero_grad();
+      Tensor logits = ind.net->forward(batch.x, true);
+      CrossEntropyResult ce = cross_entropy(logits, batch.y);
+      ind.net->backward(ce.grad_logits);
+      ind.opt->step(ind.net->params());
+      // Fitness: running mean of observed training accuracy.
+      ind.fitness = (ind.fitness * ind.evaluations + ce.accuracy) /
+                    (ind.evaluations + 1);
+      ++ind.evaluations;
+      acc_sum += ce.accuracy;
+    }
+    result.round_train_acc.push_back(acc_sum /
+                                     static_cast<double>(population_.size()));
+
+    if ((round + 1) % opts_.evolve_every == 0) {
+      std::sort(population_.begin(), population_.end(),
+                [](const Individual& a, const Individual& b) {
+                  return a.fitness > b.fitness;
+                });
+      const std::size_t half = population_.size() / 2;
+      for (std::size_t i = half; i < population_.size(); ++i) {
+        const Individual& parent = population_[i - half];
+        population_[i] = make_individual(mutate_genotype(parent.genotype, rng_));
+      }
+    }
+  }
+  auto best = std::max_element(population_.begin(), population_.end(),
+                               [](const Individual& a, const Individual& b) {
+                                 return a.fitness < b.fitness;
+                               });
+  result.best = best->genotype;
+  result.best_param_count = best->net->param_count();
+  result.avg_model_bytes =
+      dispatches == 0 ? 0.0 : bytes_sum / static_cast<double>(dispatches);
+  return result;
+}
+
+}  // namespace fms

@@ -1,0 +1,65 @@
+// Evolutionary federated NAS baseline (Zhu & Jin style).
+//
+// A population of candidate architectures is kept on the server; each
+// round every individual is dispatched to a participant, trained on one
+// local batch (its *whole model* travels, unlike our sub-model scheme) and
+// scored by training accuracy. Periodically the worst half of the
+// population is replaced by mutated copies of the best half. The "big"
+// variant searches the full cell space; the "small" variant restricts the
+// cell to fewer nodes, mirroring the paper's two EvoFedNAS rows.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/data/dataset.h"
+#include "src/nas/discrete_net.h"
+#include "src/nn/optim.h"
+
+namespace fms {
+
+Genotype random_genotype(int nodes, Rng& rng);
+Genotype mutate_genotype(const Genotype& parent, Rng& rng);
+
+class EvoFedNasSearch {
+ public:
+  struct Options {
+    int population = 8;
+    int evolve_every = 10;  // rounds between evolution steps
+    int nodes = 3;          // "small" variant uses fewer nodes
+  };
+
+  EvoFedNasSearch(const SupernetConfig& cfg, const Dataset& train,
+                  const std::vector<std::vector<int>>& partition,
+                  const SearchConfig& hyper, Options opts);
+
+  struct Result {
+    Genotype best;
+    std::vector<double> round_train_acc;
+    double avg_model_bytes = 0.0;  // whole-model payload per dispatch
+    std::size_t best_param_count = 0;
+  };
+
+  Result run(int rounds, int batch_size);
+
+ private:
+  struct Individual {
+    Genotype genotype;
+    std::unique_ptr<DiscreteNet> net;
+    std::unique_ptr<SGD> opt;
+    double fitness = 0.0;
+    int evaluations = 0;
+  };
+
+  Individual make_individual(const Genotype& g);
+
+  SupernetConfig cfg_;
+  SearchConfig hyper_;
+  Options opts_;
+  Rng rng_;
+  std::vector<Shard> shards_;
+  std::vector<Individual> population_;
+};
+
+}  // namespace fms

@@ -1,0 +1,219 @@
+#include "src/baselines/gradient_nas.h"
+
+#include <numeric>
+
+#include "src/tensor/ops.h"
+
+namespace fms {
+
+EdgeWeights edge_weights_from_alpha(const AlphaTable& alpha) {
+  EdgeWeights w(alpha.size());
+  for (std::size_t e = 0; e < alpha.size(); ++e) w[e] = alpha_softmax(alpha[e]);
+  return w;
+}
+
+AlphaPair alpha_grad_from_edge_grads(const AlphaPair& alpha,
+                                     const EdgeWeights& gw_normal,
+                                     const EdgeWeights& gw_reduce) {
+  AlphaPair out = AlphaPair::zeros(static_cast<int>(alpha.normal.size()));
+  auto apply = [](const AlphaTable& a, const EdgeWeights& gw, AlphaTable& g) {
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      const auto p = alpha_softmax(a[e]);
+      float dot = 0.0F;  // sum_o gw_o * p_o
+      for (int o = 0; o < kNumOps; ++o) {
+        dot += gw[e][static_cast<std::size_t>(o)] *
+               p[static_cast<std::size_t>(o)];
+      }
+      for (int j = 0; j < kNumOps; ++j) {
+        const std::size_t ji = static_cast<std::size_t>(j);
+        g[e][ji] = p[ji] * (gw[e][ji] - dot);
+      }
+    }
+  };
+  apply(alpha.normal, gw_normal, out.normal);
+  apply(alpha.reduce, gw_reduce, out.reduce);
+  return out;
+}
+
+// ---------------------------------------------------------------- FedNAS --
+
+FedNasSearch::FedNasSearch(const SupernetConfig& cfg, const Dataset& train,
+                           const std::vector<std::vector<int>>& partition,
+                           const SearchConfig& hyper)
+    : cfg_(cfg),
+      hyper_(hyper),
+      rng_(hyper.seed ^ 0xfed9a5),
+      alpha_(AlphaPair::zeros(Cell::num_edges(cfg.num_nodes))),
+      theta_opt_(SGD::Options{hyper.theta.learning_rate, hyper.theta.momentum,
+                              hyper.theta.weight_decay,
+                              hyper.theta.gradient_clip}) {
+  Rng net_rng = rng_.fork();
+  supernet_ = std::make_unique<Supernet>(cfg, net_rng);
+  for (const auto& p : partition) shards_.emplace_back(&train, p);
+}
+
+GradNasResult FedNasSearch::run(int rounds, int batch_size) {
+  GradNasResult result;
+  result.supernet_param_count = supernet_->param_count();
+  // FedNAS ships the whole supernet plus alpha to every participant.
+  result.bytes_down_per_participant_round =
+      supernet_->supernet_bytes() + alpha_.flatten().size() * 4;
+  const int k = static_cast<int>(shards_.size());
+  const int num_edges = Cell::num_edges(cfg_.num_nodes);
+  for (int round = 0; round < rounds; ++round) {
+    supernet_->zero_grad();
+    EdgeWeights gw_n(static_cast<std::size_t>(num_edges));
+    EdgeWeights gw_r(static_cast<std::size_t>(num_edges));
+    for (auto& row : gw_n) row.fill(0.0F);
+    for (auto& row : gw_r) row.fill(0.0F);
+    const EdgeWeights w_n = edge_weights_from_alpha(alpha_.normal);
+    const EdgeWeights w_r = edge_weights_from_alpha(alpha_.reduce);
+    double acc = 0.0;
+    for (int p = 0; p < k; ++p) {
+      Dataset::Batch batch = shards_[static_cast<std::size_t>(p)].next_batch(
+          batch_size, nullptr, rng_);
+      Tensor logits = supernet_->forward_mixed(batch.x, w_n, w_r, true);
+      CrossEntropyResult ce = cross_entropy(logits, batch.y);
+      supernet_->backward_mixed(ce.grad_logits, gw_n, gw_r);
+      acc += ce.accuracy;
+    }
+    result.round_train_acc.push_back(acc / k);
+    // Average across participants and step theta.
+    const float inv_k = 1.0F / static_cast<float>(k);
+    for (Param* p : supernet_->params()) {
+      for (float& g : p->grad.vec()) g *= inv_k;
+    }
+    theta_opt_.step(supernet_->params());
+    // Alpha step (plain SGD on the averaged alpha gradient).
+    for (auto& row : gw_n)
+      for (auto& v : row) v *= inv_k;
+    for (auto& row : gw_r)
+      for (auto& v : row) v *= inv_k;
+    AlphaPair ga = alpha_grad_from_edge_grads(alpha_, gw_n, gw_r);
+    ga.add_scaled(alpha_, hyper_.alpha.weight_decay);
+    ga.clip(hyper_.alpha.gradient_clip);
+    alpha_.add_scaled(ga, -hyper_.alpha.learning_rate);  // descent on loss
+  }
+  result.genotype = discretize(alpha_.normal, alpha_.reduce, cfg_.num_nodes);
+  return result;
+}
+
+// ----------------------------------------------------------------- DARTS --
+
+DartsSearch::DartsSearch(const SupernetConfig& cfg, const Dataset& train,
+                         const Dataset& valid, const SearchConfig& hyper,
+                         Options opts)
+    : cfg_(cfg),
+      hyper_(hyper),
+      opts_(opts),
+      rng_(hyper.seed ^ 0xda125),
+      alpha_(AlphaPair::zeros(Cell::num_edges(cfg.num_nodes))),
+      theta_opt_(SGD::Options{hyper.theta.learning_rate, hyper.theta.momentum,
+                              hyper.theta.weight_decay,
+                              hyper.theta.gradient_clip}) {
+  Rng net_rng = rng_.fork();
+  supernet_ = std::make_unique<Supernet>(cfg, net_rng);
+  std::vector<int> train_idx(static_cast<std::size_t>(train.size()));
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<int> valid_idx(static_cast<std::size_t>(valid.size()));
+  std::iota(valid_idx.begin(), valid_idx.end(), 0);
+  train_shard_ = Shard(&train, train_idx);
+  valid_shard_ = Shard(&valid, valid_idx);
+}
+
+AlphaPair DartsSearch::alpha_grad_on_batch(const Dataset::Batch& batch) {
+  const int num_edges = Cell::num_edges(cfg_.num_nodes);
+  EdgeWeights gw_n(static_cast<std::size_t>(num_edges));
+  EdgeWeights gw_r(static_cast<std::size_t>(num_edges));
+  for (auto& row : gw_n) row.fill(0.0F);
+  for (auto& row : gw_r) row.fill(0.0F);
+  supernet_->zero_grad();
+  Tensor logits = supernet_->forward_mixed(
+      batch.x, edge_weights_from_alpha(alpha_.normal),
+      edge_weights_from_alpha(alpha_.reduce), true);
+  CrossEntropyResult ce = cross_entropy(logits, batch.y);
+  supernet_->backward_mixed(ce.grad_logits, gw_n, gw_r);
+  return alpha_grad_from_edge_grads(alpha_, gw_n, gw_r);
+}
+
+std::vector<float> DartsSearch::theta_grad_on_batch(const Dataset::Batch& batch,
+                                                    double* acc_out) {
+  const int num_edges = Cell::num_edges(cfg_.num_nodes);
+  EdgeWeights gw_n(static_cast<std::size_t>(num_edges));
+  EdgeWeights gw_r(static_cast<std::size_t>(num_edges));
+  for (auto& row : gw_n) row.fill(0.0F);
+  for (auto& row : gw_r) row.fill(0.0F);
+  supernet_->zero_grad();
+  Tensor logits = supernet_->forward_mixed(
+      batch.x, edge_weights_from_alpha(alpha_.normal),
+      edge_weights_from_alpha(alpha_.reduce), true);
+  CrossEntropyResult ce = cross_entropy(logits, batch.y);
+  supernet_->backward_mixed(ce.grad_logits, gw_n, gw_r);
+  if (acc_out != nullptr) *acc_out = ce.accuracy;
+  std::vector<float> flat;
+  for (Param* p : supernet_->params()) {
+    flat.insert(flat.end(), p->grad.vec().begin(), p->grad.vec().end());
+  }
+  return flat;
+}
+
+GradNasResult DartsSearch::run(int steps, int batch_size) {
+  GradNasResult result;
+  result.supernet_param_count = supernet_->param_count();
+  for (int step = 0; step < steps; ++step) {
+    Dataset::Batch val_batch = valid_shard_.next_batch(batch_size, nullptr, rng_);
+    AlphaPair ga;
+    if (!opts_.second_order) {
+      ga = alpha_grad_on_batch(val_batch);
+    } else {
+      // Unrolled step: w' = w - xi * dL_train/dw.
+      Dataset::Batch tr_batch = train_shard_.next_batch(batch_size, nullptr, rng_);
+      std::vector<float> w0 = supernet_->flat_values();
+      std::vector<float> gt = theta_grad_on_batch(tr_batch, nullptr);
+      std::vector<float> w1 = w0;
+      for (std::size_t i = 0; i < w1.size(); ++i) w1[i] -= opts_.xi * gt[i];
+      supernet_->set_flat_values(w1);
+      AlphaPair term1 = alpha_grad_on_batch(val_batch);
+      std::vector<float> gv = theta_grad_on_batch(val_batch, nullptr);
+      // Finite-difference Hessian-vector product
+      // d/dalpha [ dL_train/dw . gv ] ~ (dLtr/da|w+ - dLtr/da|w-) / 2eps.
+      double gv_norm = 0.0;
+      for (float g : gv) gv_norm += static_cast<double>(g) * g;
+      gv_norm = std::sqrt(gv_norm);
+      const float eps = gv_norm > 1e-8 ? static_cast<float>(0.01 / gv_norm)
+                                       : 0.0F;
+      AlphaPair hvp = AlphaPair::zeros(Cell::num_edges(cfg_.num_nodes));
+      if (eps > 0.0F) {
+        std::vector<float> wp = w0, wm = w0;
+        for (std::size_t i = 0; i < w0.size(); ++i) {
+          wp[i] += eps * gv[i];
+          wm[i] -= eps * gv[i];
+        }
+        supernet_->set_flat_values(wp);
+        AlphaPair gp = alpha_grad_on_batch(tr_batch);
+        supernet_->set_flat_values(wm);
+        AlphaPair gm = alpha_grad_on_batch(tr_batch);
+        gp.add_scaled(gm, -1.0F);
+        gp.scale(1.0F / (2.0F * eps));
+        hvp = gp;
+      }
+      term1.add_scaled(hvp, -opts_.xi);
+      ga = term1;
+      supernet_->set_flat_values(w0);
+    }
+    ga.add_scaled(alpha_, hyper_.alpha.weight_decay);
+    ga.clip(hyper_.alpha.gradient_clip);
+    alpha_.add_scaled(ga, -hyper_.alpha.learning_rate);
+
+    // Theta step on a training batch at the new alpha.
+    Dataset::Batch tr_batch = train_shard_.next_batch(batch_size, nullptr, rng_);
+    double acc = 0.0;
+    theta_grad_on_batch(tr_batch, &acc);  // grads now live in params
+    theta_opt_.step(supernet_->params());
+    result.round_train_acc.push_back(acc);
+  }
+  result.genotype = discretize(alpha_.normal, alpha_.reduce, cfg_.num_nodes);
+  return result;
+}
+
+}  // namespace fms

@@ -1,0 +1,85 @@
+// Gradient-based NAS baselines sharing the supernet's mixed
+// (continuous-relaxation) mode:
+//
+//  * FedNAS  (He et al.)  — federated: the *entire supernet* plus alpha is
+//    broadcast to every participant each round; participants return full
+//    theta gradients and d loss / d alpha; the server averages and steps
+//    both. Communication per participant per round is therefore the
+//    supernet size — the cost the paper's method avoids.
+//  * DARTS   (Liu et al.) — centralized, 1st-order (alpha gradient on a
+//    validation batch at the current weights) and 2nd-order (unrolled
+//    virtual step with the finite-difference Hessian-vector product).
+#pragma once
+
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/data/dataset.h"
+#include "src/nas/supernet.h"
+#include "src/nn/optim.h"
+#include "src/rl/policy.h"
+
+namespace fms {
+
+// Chain rule through the per-edge softmax: converts d loss / d edge-weight
+// into d loss / d alpha (dp_o/da_j = p_j (delta_oj - p_o)).
+AlphaPair alpha_grad_from_edge_grads(const AlphaPair& alpha,
+                                     const EdgeWeights& gw_normal,
+                                     const EdgeWeights& gw_reduce);
+
+EdgeWeights edge_weights_from_alpha(const AlphaTable& alpha);
+
+struct GradNasResult {
+  Genotype genotype;
+  std::vector<double> round_train_acc;
+  std::size_t bytes_down_per_participant_round = 0;  // FedNAS only
+  std::size_t supernet_param_count = 0;
+};
+
+class FedNasSearch {
+ public:
+  FedNasSearch(const SupernetConfig& cfg, const Dataset& train,
+               const std::vector<std::vector<int>>& partition,
+               const SearchConfig& hyper);
+
+  GradNasResult run(int rounds, int batch_size);
+
+ private:
+  SupernetConfig cfg_;
+  SearchConfig hyper_;
+  Rng rng_;
+  std::unique_ptr<Supernet> supernet_;
+  AlphaPair alpha_;
+  SGD theta_opt_;
+  std::vector<Shard> shards_;
+};
+
+class DartsSearch {
+ public:
+  struct Options {
+    bool second_order = false;
+    float xi = 0.025F;   // virtual-step learning rate (2nd order)
+  };
+
+  DartsSearch(const SupernetConfig& cfg, const Dataset& train,
+              const Dataset& valid, const SearchConfig& hyper, Options opts);
+
+  GradNasResult run(int steps, int batch_size);
+
+ private:
+  AlphaPair alpha_grad_on_batch(const Dataset::Batch& batch);
+  std::vector<float> theta_grad_on_batch(const Dataset::Batch& batch,
+                                         double* acc_out);
+
+  SupernetConfig cfg_;
+  SearchConfig hyper_;
+  Options opts_;
+  Rng rng_;
+  std::unique_ptr<Supernet> supernet_;
+  AlphaPair alpha_;
+  SGD theta_opt_;
+  Shard train_shard_;
+  Shard valid_shard_;
+};
+
+}  // namespace fms

@@ -1,0 +1,45 @@
+// Lightweight runtime invariant checking used throughout the library.
+//
+// FMS_CHECK is always on (the cost is negligible next to tensor math) and
+// throws fms::CheckError so tests can assert on failures and callers can
+// recover if they choose to.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fms {
+
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FMS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace fms
+
+#define FMS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) ::fms::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FMS_CHECK_MSG(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream fms_check_os_;                            \
+      fms_check_os_ << msg;                                        \
+      ::fms::detail::check_failed(#cond, __FILE__, __LINE__,       \
+                                  fms_check_os_.str());            \
+    }                                                              \
+  } while (0)

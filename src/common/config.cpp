@@ -1,0 +1,33 @@
+#include "src/common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace fms {
+
+double env_scale() {
+  const char* s = std::getenv("FMS_SCALE");
+  if (s == nullptr) return 1.0;
+  try {
+    double v = std::stod(s);
+    return std::max(0.1, v);
+  } catch (...) {
+    return 1.0;
+  }
+}
+
+SearchConfig default_config() {
+  SearchConfig cfg;
+  double scale = env_scale();
+  if (scale != 1.0) {
+    auto sc = [&](int v) { return static_cast<int>(v * scale); };
+    cfg.schedule.warmup_steps = sc(cfg.schedule.warmup_steps);
+    cfg.schedule.search_steps = sc(cfg.schedule.search_steps);
+    cfg.schedule.retrain_epochs = std::max(1, sc(cfg.schedule.retrain_epochs));
+    cfg.schedule.fl_train_steps = sc(cfg.schedule.fl_train_steps);
+  }
+  return cfg;
+}
+
+}  // namespace fms

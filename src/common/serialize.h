@@ -1,0 +1,94 @@
+// Binary serialization with exact byte accounting.
+//
+// The paper's efficiency claims hinge on payload sizes (a sub-model is
+// ~1/N of the supernet), so every message in the federated substrate is
+// actually serialized and its size measured rather than estimated.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fms {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FMS_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(), "ByteReader underflow");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto n = read<std::uint64_t>();
+    FMS_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "ByteReader underflow");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::string read_string() {
+    auto n = read<std::uint64_t>();
+    FMS_CHECK_MSG(pos_ + n <= buf_.size(), "ByteReader underflow");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += n;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+inline double bytes_to_mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace fms

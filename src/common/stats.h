@@ -1,0 +1,108 @@
+// Small statistics helpers used by the RL baseline, metric streams, and
+// experiment reporting.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fms {
+
+// Exponential moving average: b_{t+1} = beta * x + (1 - beta) * b_t.
+// This is the form the paper uses for the REINFORCE reward baseline
+// (Eq. 9), where beta is the "baseline decay" hyperparameter.
+class ExpMovingAverage {
+ public:
+  explicit ExpMovingAverage(double beta) : beta_(beta) {
+    FMS_CHECK(beta >= 0.0 && beta <= 1.0);
+  }
+
+  double update(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = beta_ * x + (1.0 - beta_) * value_;
+    }
+    return value_;
+  }
+
+  double value() const { return initialized_ ? value_ : 0.0; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double beta_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Fixed-window moving average (the paper smooths search curves with a
+// 50-step window).
+class WindowAverage {
+ public:
+  explicit WindowAverage(std::size_t window) : window_(window) {
+    FMS_CHECK(window > 0);
+  }
+
+  double update(double x) {
+    values_.push_back(x);
+    sum_ += x;
+    if (values_.size() > window_) {
+      sum_ -= values_.front();
+      values_.pop_front();
+    }
+    return value();
+  }
+
+  double value() const {
+    return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+// Welford online mean/variance.
+class OnlineMeanVar {
+ public:
+  void update(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline double stddev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean_of(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace fms

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <chrono>
+
+namespace fms {
+
+// Wall-clock stopwatch for the search-time experiments (Table V).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fms

@@ -1,0 +1,149 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints a paper-style table to stdout and, when given
+// an output directory, mirrors the rows to CSV for plotting.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fms {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names) {
+    header_ = std::move(names);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    FMS_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+                  "row width mismatch in table " << title_);
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i >= width.size()) width.resize(i + 1, 0);
+        width[i] = std::max(width[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    os << "== " << title_ << " ==\n";
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+           << cells[i];
+      }
+      os << "\n";
+    };
+    if (!header_.empty()) {
+      line(header_);
+      std::size_t total = 0;
+      for (auto w : width) total += w + 2;
+      os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_) line(r);
+    os.flush();
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    FMS_CHECK_MSG(f.good(), "cannot open " << path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) f << ",";
+        f << cells[i];
+      }
+      f << "\n";
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Series writer for figure-style outputs (x, one or more named series).
+class Series {
+ public:
+  explicit Series(std::string title) : title_(std::move(title)) {}
+
+  Series& axes(std::string x_name, std::vector<std::string> series_names) {
+    x_name_ = std::move(x_name);
+    names_ = std::move(series_names);
+    return *this;
+  }
+
+  Series& point(double x, std::vector<double> ys) {
+    FMS_CHECK(ys.size() == names_.size());
+    xs_.push_back(x);
+    ys_.push_back(std::move(ys));
+    return *this;
+  }
+
+  // Prints every `stride`-th point so long runs stay readable on a console.
+  void print(std::ostream& os = std::cout, std::size_t stride = 1) const {
+    os << "== " << title_ << " ==\n" << x_name_;
+    for (const auto& n : names_) os << "\t" << n;
+    os << "\n";
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      if (i % stride != 0 && i + 1 != xs_.size()) continue;
+      os << Table::num(xs_[i], 0);
+      for (double y : ys_[i]) os << "\t" << Table::num(y, 4);
+      os << "\n";
+    }
+    os.flush();
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    FMS_CHECK_MSG(f.good(), "cannot open " << path);
+    f << x_name_;
+    for (const auto& n : names_) f << "," << n;
+    f << "\n";
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      f << xs_[i];
+      for (double y : ys_[i]) f << "," << y;
+      f << "\n";
+    }
+  }
+
+  std::size_t size() const { return xs_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<std::vector<double>>& ys() const { return ys_; }
+
+ private:
+  std::string title_;
+  std::string x_name_;
+  std::vector<std::string> names_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> ys_;
+};
+
+}  // namespace fms

@@ -1,0 +1,100 @@
+// Minimal fixed-size thread pool.
+//
+// Participant-local training steps are independent and can run in
+// parallel; on single-core hosts the pool degrades gracefully to one
+// worker. parallel_for is the only API the library uses.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fms {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads =
+                          std::max(1U, std::thread::hardware_concurrency())) {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n); blocks until all complete. Exceptions from
+  // tasks propagate as the first one captured.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.size() == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = n;
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fms

@@ -1,0 +1,144 @@
+#include "src/core/checkpoint.h"
+
+#include <fstream>
+
+#include "src/common/serialize.h"
+
+namespace fms {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x464d5343;  // "FMSC"
+constexpr std::uint32_t kGenotypeMagic = 0x464d5347;    // "FMSG"
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FMS_CHECK_MSG(f.good(), "cannot open " << path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream f(path, std::ios::binary);
+  FMS_CHECK_MSG(f.good(), "cannot open " << path);
+  f.write(reinterpret_cast<const char*>(b.data()),
+          static_cast<std::streamsize>(b.size()));
+  FMS_CHECK_MSG(f.good(), "write failed for " << path);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SearchCheckpoint::serialize() const {
+  ByteWriter w;
+  w.write(kCheckpointMagic);
+  w.write(version);
+  w.write(num_edges);
+  w.write(num_nodes);
+  w.write(round);
+  w.write(baseline);
+  w.write_vector(theta);
+  w.write_vector(alpha.flatten());
+  return w.take();
+}
+
+SearchCheckpoint SearchCheckpoint::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  FMS_CHECK_MSG(r.read<std::uint32_t>() == kCheckpointMagic,
+                "not a checkpoint file");
+  SearchCheckpoint ckpt;
+  ckpt.version = r.read<std::uint32_t>();
+  FMS_CHECK_MSG(ckpt.version == 1, "unsupported checkpoint version");
+  ckpt.num_edges = r.read<int>();
+  ckpt.num_nodes = r.read<int>();
+  ckpt.round = r.read<int>();
+  ckpt.baseline = r.read<double>();
+  ckpt.theta = r.read_vector<float>();
+  ckpt.alpha = AlphaPair::unflatten(r.read_vector<float>(), ckpt.num_edges);
+  FMS_CHECK_MSG(r.exhausted(), "trailing bytes in checkpoint");
+  return ckpt;
+}
+
+SearchCheckpoint make_checkpoint(Supernet& supernet, const ArchPolicy& policy,
+                                 int num_nodes, int round) {
+  SearchCheckpoint ckpt;
+  ckpt.num_edges = policy.num_edges();
+  ckpt.num_nodes = num_nodes;
+  ckpt.theta = supernet.flat_values();
+  ckpt.alpha = policy.alpha();
+  ckpt.baseline = policy.baseline();
+  ckpt.round = round;
+  return ckpt;
+}
+
+void restore_checkpoint(const SearchCheckpoint& ckpt, Supernet& supernet,
+                        ArchPolicy& policy) {
+  FMS_CHECK_MSG(ckpt.theta.size() == supernet.param_count(),
+                "checkpoint theta size " << ckpt.theta.size()
+                                         << " != supernet param count "
+                                         << supernet.param_count());
+  FMS_CHECK_MSG(ckpt.num_edges == policy.num_edges(),
+                "checkpoint edge count mismatch");
+  supernet.set_flat_values(ckpt.theta);
+  policy.set_alpha(ckpt.alpha);
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const SearchCheckpoint& ckpt) {
+  write_file(path, ckpt.serialize());
+}
+
+SearchCheckpoint read_checkpoint_file(const std::string& path) {
+  return SearchCheckpoint::deserialize(read_file(path));
+}
+
+std::vector<std::uint8_t> serialize_genotype(const Genotype& g) {
+  ByteWriter w;
+  w.write(kGenotypeMagic);
+  w.write(g.nodes);
+  auto write_edges = [&](const std::vector<GenotypeEdge>& edges) {
+    w.write(static_cast<std::uint32_t>(edges.size()));
+    for (const auto& e : edges) {
+      w.write(e.input);
+      w.write(static_cast<int>(e.op));
+    }
+  };
+  write_edges(g.normal);
+  write_edges(g.reduce);
+  return w.take();
+}
+
+Genotype deserialize_genotype(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  FMS_CHECK_MSG(r.read<std::uint32_t>() == kGenotypeMagic,
+                "not a genotype file");
+  Genotype g;
+  g.nodes = r.read<int>();
+  auto read_edges = [&](std::vector<GenotypeEdge>& edges) {
+    const auto n = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      GenotypeEdge e;
+      e.input = r.read<int>();
+      const int op = r.read<int>();
+      FMS_CHECK_MSG(op >= 0 && op < kNumOps, "corrupt genotype op");
+      e.op = static_cast<OpType>(op);
+      edges.push_back(e);
+    }
+  };
+  read_edges(g.normal);
+  read_edges(g.reduce);
+  FMS_CHECK_MSG(r.exhausted(), "trailing bytes in genotype");
+  FMS_CHECK_MSG(g.normal.size() == static_cast<std::size_t>(2 * g.nodes) &&
+                    g.reduce.size() == g.normal.size(),
+                "corrupt genotype structure");
+  return g;
+}
+
+void write_genotype_file(const std::string& path, const Genotype& g) {
+  write_file(path, serialize_genotype(g));
+}
+
+Genotype read_genotype_file(const std::string& path) {
+  return deserialize_genotype(read_file(path));
+}
+
+}  // namespace fms

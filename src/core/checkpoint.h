@@ -1,0 +1,46 @@
+// Checkpointing: persist and restore the search state (supernet weights,
+// architecture parameters, baseline) and searched genotypes. A federated
+// search that runs for thousands of rounds must survive server restarts;
+// this module gives the orchestrator durable state with format/version
+// and shape validation on load.
+#pragma once
+
+#include <string>
+
+#include "src/nas/genotype.h"
+#include "src/nas/supernet.h"
+#include "src/rl/policy.h"
+
+namespace fms {
+
+struct SearchCheckpoint {
+  std::uint32_t version = 1;
+  int num_edges = 0;
+  int num_nodes = 0;
+  std::vector<float> theta;  // flat supernet values
+  AlphaPair alpha;
+  double baseline = 0.0;
+  int round = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static SearchCheckpoint deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+SearchCheckpoint make_checkpoint(Supernet& supernet, const ArchPolicy& policy,
+                                 int num_nodes, int round);
+
+// Throws CheckError on shape mismatch (wrong supernet config / edge count).
+void restore_checkpoint(const SearchCheckpoint& ckpt, Supernet& supernet,
+                        ArchPolicy& policy);
+
+void write_checkpoint_file(const std::string& path,
+                           const SearchCheckpoint& ckpt);
+SearchCheckpoint read_checkpoint_file(const std::string& path);
+
+// Genotype persistence (binary, versioned).
+std::vector<std::uint8_t> serialize_genotype(const Genotype& g);
+Genotype deserialize_genotype(const std::vector<std::uint8_t>& bytes);
+void write_genotype_file(const std::string& path, const Genotype& g);
+Genotype read_genotype_file(const std::string& path);
+
+}  // namespace fms

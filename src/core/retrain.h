@@ -1,0 +1,56 @@
+// Phase P3 (retrain the searched architecture from scratch) and phase P4
+// (evaluation). Both a centralized and a federated (FedAvg
+// gradient-averaging) trainer are provided, matching the paper's two P3
+// variants; the federated trainer also powers the FedAvg fixed-model
+// baseline in Tables III/IV and the convergence curves of Figs. 9-11.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/data/dataset.h"
+#include "src/nn/lr_schedule.h"
+#include "src/nn/net.h"
+#include "src/nn/optim.h"
+
+namespace fms {
+
+struct TrainPoint {
+  int step = 0;          // epoch (centralized) or round (federated)
+  double train_acc = 0.0;
+  double val_acc = 0.0;  // NaN-free: only recorded on eval steps
+};
+
+struct RetrainResult {
+  double final_test_accuracy = 0.0;
+  double best_test_accuracy = 0.0;
+  std::vector<TrainPoint> curve;
+};
+
+// Top-1 accuracy over a dataset (eval mode, batched).
+double evaluate(TrainableNet& net, const Dataset& data, int batch_size);
+
+// Centralized SGD training for `epochs` passes over the training set.
+// An optional schedule anneals the learning rate across epochs (DARTS
+// retraining uses cosine annealing); nullptr keeps opts.lr constant.
+RetrainResult centralized_train(TrainableNet& net, const Dataset& train,
+                                const Dataset& test, int epochs,
+                                int batch_size, const SGD::Options& opts,
+                                const AugmentConfig* augment, Rng& rng,
+                                int eval_every = 1,
+                                const LrSchedule* schedule = nullptr);
+
+// Federated training: each round every participant computes one local
+// batch gradient on the shared global model; the server averages and
+// steps (FedAvg, gradient form). Returns per-round average participant
+// training accuracy and periodic validation accuracy.
+RetrainResult federated_train(TrainableNet& net, const Dataset& train,
+                              const std::vector<std::vector<int>>& partition,
+                              const Dataset& test, int rounds, int batch_size,
+                              const SGD::Options& opts,
+                              const AugmentConfig* augment, Rng& rng,
+                              int eval_every = 10,
+                              const LrSchedule* schedule = nullptr);
+
+}  // namespace fms

@@ -1,0 +1,224 @@
+#include "src/core/search.h"
+
+#include <algorithm>
+
+#include "src/nn/optim.h"
+#include "src/tensor/ops.h"
+
+namespace fms {
+
+FederatedSearch::FederatedSearch(const SearchConfig& cfg,
+                                 const Dataset& train_data,
+                                 const std::vector<std::vector<int>>& partition)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      policy_(Cell::num_edges(cfg.supernet.num_nodes), cfg.alpha),
+      theta_opt_(SGD::Options{cfg.theta.learning_rate, cfg.theta.momentum,
+                              cfg.theta.weight_decay, cfg.theta.gradient_clip}),
+      pool_(/*staleness_threshold=*/5),
+      moving_(50) {
+  staleness_rng_ = rng_.fork();
+  Rng net_rng = rng_.fork();
+  supernet_ = std::make_unique<Supernet>(cfg.supernet, net_rng);
+  FMS_CHECK_MSG(!partition.empty(), "need at least one participant");
+  for (std::size_t k = 0; k < partition.size(); ++k) {
+    participants_.push_back(std::make_unique<SearchParticipant>(
+        static_cast<int>(k), Shard(&train_data, partition[k]), cfg.supernet,
+        cfg.augment, cfg.schedule.batch_size, rng_.fork()));
+    // Default environment mix: participants cycle through the six mobility
+    // settings; Fig. 7 benches construct their own traces explicitly.
+    traces_.emplace_back(
+        static_cast<NetEnvironment>(k % kNumNetEnvironments), rng_.fork());
+  }
+}
+
+std::vector<RoundRecord> FederatedSearch::run_warmup(int steps) {
+  SearchOptions opts;
+  opts.update_alpha = false;
+  opts.update_theta = true;
+  opts.stale_policy = StalePolicy::kHardSync;
+  std::vector<RoundRecord> records;
+  records.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    records.push_back(run_round(round_counter_++, opts));
+    if (on_round) on_round(records.back());
+  }
+  return records;
+}
+
+std::vector<RoundRecord> FederatedSearch::run_search(
+    int steps, const SearchOptions& opts) {
+  std::vector<RoundRecord> records;
+  records.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    records.push_back(run_round(round_counter_++, opts));
+    if (on_round) on_round(records.back());
+  }
+  return records;
+}
+
+RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
+  const int k = num_participants();
+  RoundRecord rec;
+  rec.round = t;
+
+  // --- sample masks and snapshot state (Alg. 1 lines 4-9) ---
+  std::vector<Mask> masks;
+  masks.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) masks.push_back(policy_.sample(rng_));
+  const bool soft_sync = opts.stale_policy != StalePolicy::kHardSync;
+  if (soft_sync) {
+    RoundSnapshot snap;
+    snap.theta = supernet_->flat_values();
+    snap.alpha = policy_.alpha();
+    snap.masks = masks;
+    pool_.save(t, std::move(snap));
+  }
+
+  // --- adaptive transmission (Alg. 1 lines 10-11, Fig. 7) ---
+  std::vector<std::size_t> model_bytes;
+  std::vector<double> bandwidths;
+  model_bytes.reserve(static_cast<std::size_t>(k));
+  bandwidths.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    model_bytes.push_back(
+        supernet_->submodel_bytes(masks[static_cast<std::size_t>(i)]));
+    bandwidths.push_back(traces_[static_cast<std::size_t>(i)].next_bps());
+  }
+  std::vector<int> assignment =
+      assign_models(model_bytes, bandwidths, opts.assign, rng_);
+  LatencyStats lat = transmission_latency(
+      model_bytes, bandwidths, assignment,
+      opts.assign == AssignStrategy::kAverageSize);
+  rec.max_latency_s = lat.max_seconds;
+  rec.mean_latency_s = lat.mean_seconds;
+
+  // --- dispatch, local training, delayed arrival (lines 12-15) ---
+  // Serialized mask/header overhead of a message whose values travel
+  // through the configured codec.
+  auto payload_bytes = [&](const Mask& m, std::size_t num_values) {
+    return 4 + (8 + m.normal.size()) + (8 + m.reduce.size()) +
+           codec_encoded_bytes(num_values, opts.codec);
+  };
+  for (int i = 0; i < k; ++i) {
+    const Mask& mask = masks[static_cast<std::size_t>(assignment[i])];
+    SubmodelMsg msg;
+    msg.round = t;
+    msg.mask = mask;
+    msg.values =
+        supernet_->gather_values(supernet_->masked_param_ids(mask));
+    if (opts.codec != Codec::kFloat32) {
+      msg.values = codec_round_trip(msg.values, opts.codec);
+    }
+    const std::size_t down = payload_bytes(mask, msg.values.size());
+    rec.bytes_down += down;
+    submodel_bytes_sum_ += down;
+    ++submodel_count_;
+
+    UpdateMsg upd = participants_[static_cast<std::size_t>(i)]->train_step(msg);
+    if (opts.codec != Codec::kFloat32) {
+      upd.grads = codec_round_trip(upd.grads, opts.codec);
+    }
+    rec.bytes_up += payload_bytes(upd.mask, upd.grads.size()) + 8;
+
+    const int tau = soft_sync ? opts.staleness.sample(staleness_rng_) : 0;
+    if (tau == kExceedsThreshold || tau > pool_.threshold()) {
+      ++rec.dropped;  // beyond the staleness threshold: never applied
+      continue;
+    }
+    arrivals_[t + tau].push_back(std::move(upd));
+  }
+  total_bytes_down_ += rec.bytes_down;
+  total_bytes_up_ += rec.bytes_up;
+
+  // --- process this round's arrivals (lines 16-31) ---
+  supernet_->zero_grad();
+  AlphaPair grad_j = AlphaPair::zeros(policy_.num_edges());
+  std::vector<std::pair<double, AlphaPair>> alpha_terms;  // (reward, dlogp)
+  double reward_sum = 0.0;
+  int m = 0;
+  auto due = arrivals_.find(t);
+  if (due != arrivals_.end()) {
+    for (UpdateMsg& upd : due->second) {
+      const int tau = t - upd.round;
+      std::vector<float> grads;
+      AlphaPair dlogp = AlphaPair::zeros(policy_.num_edges());
+      if (tau == 0) {
+        grads = std::move(upd.grads);
+        dlogp = policy_.log_prob_grad(upd.mask);
+      } else {
+        if (opts.stale_policy == StalePolicy::kDrop) {
+          ++rec.dropped;
+          continue;
+        }
+        const RoundSnapshot* snap = pool_.find(upd.round);
+        if (snap == nullptr) {  // evicted: nothing to compensate against
+          ++rec.dropped;
+          continue;
+        }
+        if (opts.stale_policy == StalePolicy::kUseStale) {
+          grads = std::move(upd.grads);
+          dlogp = ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
+        } else {  // kCompensate: Eq. 13 + Eq. 15
+          const auto ids = supernet_->masked_param_ids(upd.mask);
+          std::vector<float> fresh_w = supernet_->gather_values(ids);
+          std::vector<float> stale_w =
+              supernet_->gather_from_flat(snap->theta, ids);
+          grads = compensate_weight_gradient(upd.grads, fresh_w, stale_w,
+                                             opts.dc_lambda);
+          AlphaPair stale_dlogp =
+              ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
+          dlogp = compensate_alpha_gradient(stale_dlogp, policy_.alpha(),
+                                            snap->alpha, opts.dc_lambda);
+        }
+      }
+      supernet_->scatter_add_grads(supernet_->masked_param_ids(upd.mask),
+                                   grads);
+      alpha_terms.emplace_back(upd.reward, std::move(dlogp));
+      reward_sum += upd.reward;
+      ++m;
+    }
+    arrivals_.erase(due);
+  }
+
+  rec.arrived = m;
+  if (m > 0) {
+    rec.mean_reward = reward_sum / m;
+    rec.moving_avg = moving_.update(rec.mean_reward);
+
+    // REINFORCE with moving-average baseline (Eq. 8-10).
+    const double b = policy_.update_baseline(rec.mean_reward);
+    for (auto& [reward, dlogp] : alpha_terms) {
+      grad_j.add_scaled(dlogp, static_cast<float>(reward - b) /
+                                   static_cast<float>(m));
+    }
+    if (opts.update_alpha) policy_.apply_gradient(grad_j);
+
+    if (opts.update_theta) {
+      // Average gradients over arrived sub-models (line 32) and step.
+      const float inv_m = 1.0F / static_cast<float>(m);
+      for (Param* p : supernet_->params()) {
+        for (float& g : p->grad.vec()) g *= inv_m;
+      }
+      theta_opt_.step(supernet_->params());
+    }
+  } else {
+    rec.moving_avg = moving_.value();
+  }
+
+  if (soft_sync) pool_.evict(t);
+  return rec;
+}
+
+Genotype FederatedSearch::derive() const {
+  return policy_.derive_genotype(cfg_.supernet.num_nodes);
+}
+
+double FederatedSearch::avg_submodel_bytes() const {
+  return submodel_count_ == 0
+             ? 0.0
+             : static_cast<double>(submodel_bytes_sum_) /
+                   static_cast<double>(submodel_count_);
+}
+
+}  // namespace fms

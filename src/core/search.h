@@ -1,0 +1,107 @@
+// FederatedSearch — the paper's primary contribution, end to end.
+//
+// Implements Algorithm 1 (Delay-Compensated Federated Model Search): the
+// server holds the supernet theta and the RL controller alpha; each round
+// it samples one-hot masks per participant, ships pruned sub-models
+// (adaptively matched to transmission conditions), retrieves rewards and
+// weight gradients, repairs stale updates per the configured policy, and
+// updates alpha by REINFORCE and theta by averaged SGD.
+//
+// Phases (paper §VI-A): warm-up (P1) trains theta under a fixed uniform
+// policy; search (P2) optimizes alpha and theta jointly; derive() then
+// discretizes alpha into the final Genotype for retraining (P3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/stats.h"
+#include "src/data/dataset.h"
+#include "src/dc/compensation.h"
+#include "src/fed/compression.h"
+#include "src/fed/participant.h"
+#include "src/net/trace.h"
+#include "src/net/transmission.h"
+#include "src/nn/optim.h"
+#include "src/sim/staleness.h"
+
+namespace fms {
+
+struct SearchOptions {
+  StalePolicy stale_policy = StalePolicy::kHardSync;
+  StalenessDistribution staleness = StalenessDistribution::none();
+  float dc_lambda = 0.5F;  // lambda of Eq. 13 / Eq. 15
+  AssignStrategy assign = AssignStrategy::kAdaptive;
+  bool update_theta = true;  // false reproduces the Fig. 5 ablation
+  bool update_alpha = true;  // false during warm-up
+  // Lossy payload compression applied to sub-model downloads and gradient
+  // uploads; the quantization noise flows through training.
+  Codec codec = Codec::kFloat32;
+};
+
+struct RoundRecord {
+  int round = 0;
+  double mean_reward = 0.0;   // average training accuracy of arrived updates
+  double moving_avg = 0.0;    // 50-round moving average (paper's curves)
+  int arrived = 0;
+  int dropped = 0;
+  double max_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  std::size_t bytes_down = 0;
+  std::size_t bytes_up = 0;
+};
+
+class FederatedSearch {
+ public:
+  // `partition[k]` holds the training-set indices of participant k.
+  FederatedSearch(const SearchConfig& cfg, const Dataset& train_data,
+                  const std::vector<std::vector<int>>& partition);
+
+  // P1: fixed (uniform) alpha, theta-only updates.
+  std::vector<RoundRecord> run_warmup(int steps);
+  // P2: the search itself.
+  std::vector<RoundRecord> run_search(int steps, const SearchOptions& opts);
+
+  Genotype derive() const;
+
+  Supernet& supernet() { return *supernet_; }
+  ArchPolicy& policy() { return policy_; }
+  int num_participants() const { return static_cast<int>(participants_.size()); }
+
+  // Payload statistics accumulated over all rounds so far.
+  double avg_submodel_bytes() const;
+  std::size_t supernet_bytes() { return supernet_->supernet_bytes(); }
+  std::size_t total_bytes_down() const { return total_bytes_down_; }
+  std::size_t total_bytes_up() const { return total_bytes_up_; }
+
+  // Optional per-round observer (progress logging in examples/benches).
+  std::function<void(const RoundRecord&)> on_round;
+
+ private:
+  RoundRecord run_round(int t, const SearchOptions& opts);
+
+  SearchConfig cfg_;
+  Rng rng_;
+  // Dedicated stream so soft-sync staleness draws do not perturb the main
+  // stream: an all-fresh soft-sync run follows the hard-sync trajectory
+  // exactly (verified by test).
+  Rng staleness_rng_;
+  std::unique_ptr<Supernet> supernet_;
+  ArchPolicy policy_;
+  SGD theta_opt_;
+  std::vector<std::unique_ptr<SearchParticipant>> participants_;
+  std::vector<BandwidthTrace> traces_;
+  MemoryPool pool_;
+  std::map<int, std::vector<UpdateMsg>> arrivals_;
+  WindowAverage moving_;
+  int round_counter_ = 0;
+  std::size_t total_bytes_down_ = 0;
+  std::size_t total_bytes_up_ = 0;
+  std::size_t submodel_bytes_sum_ = 0;
+  std::size_t submodel_count_ = 0;
+};
+
+}  // namespace fms

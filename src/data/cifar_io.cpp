@@ -1,0 +1,54 @@
+#include "src/data/cifar_io.h"
+
+#include <fstream>
+#include <iterator>
+
+namespace fms {
+namespace {
+
+constexpr int kImageSize = 32;
+constexpr std::size_t kPixelBytes = 3UL * kImageSize * kImageSize;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FMS_CHECK_MSG(f.good(), "cannot open " << path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+void append_cifar_records(const std::vector<std::uint8_t>& bytes,
+                          const CifarFormat& format, Dataset& out) {
+  const std::size_t header = format.has_coarse_label ? 2 : 1;
+  const std::size_t record = header + kPixelBytes;
+  FMS_CHECK_MSG(!bytes.empty() && bytes.size() % record == 0,
+                "malformed CIFAR file: " << bytes.size()
+                                         << " bytes is not a multiple of "
+                                         << record);
+  for (std::size_t pos = 0; pos < bytes.size(); pos += record) {
+    // CIFAR-100 stores coarse label first, fine label second.
+    const int label = bytes[pos + header - 1];
+    FMS_CHECK_MSG(label < format.num_classes,
+                  "label " << label << " out of range");
+    std::vector<float> image(kPixelBytes);
+    for (std::size_t i = 0; i < kPixelBytes; ++i) {
+      // Map [0, 255] to [-1, 1], matching the synthetic generators' range.
+      image[i] =
+          static_cast<float>(bytes[pos + header + i]) / 127.5F - 1.0F;
+    }
+    out.add(std::move(image), label);
+  }
+}
+
+Dataset load_cifar(const std::vector<std::string>& paths,
+                   const CifarFormat& format) {
+  Dataset out(format.num_classes, 3, kImageSize, kImageSize);
+  for (const auto& path : paths) {
+    append_cifar_records(read_file(path), format, out);
+  }
+  FMS_CHECK_MSG(out.size() > 0, "no CIFAR records loaded");
+  return out;
+}
+
+}  // namespace fms

@@ -1,0 +1,35 @@
+// Loader for the CIFAR-10/CIFAR-100 binary format.
+//
+// This reproduction ships synthetic stand-ins (synth.h) because the real
+// datasets are not available offline — but a downstream user who has
+// them should not have to touch library code. These functions parse the
+// standard binary files (data_batch_*.bin / train.bin) into a Dataset
+// with the same normalization the synthetic generators use, so every
+// pipeline in the library runs on the real data unchanged.
+//
+// CIFAR-10 record: 1 label byte + 3072 pixel bytes (R, G, B planes).
+// CIFAR-100 record: 1 coarse label byte + 1 fine label byte + 3072 pixels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace fms {
+
+struct CifarFormat {
+  int num_classes = 10;
+  bool has_coarse_label = false;  // true for CIFAR-100 files
+};
+
+// Parses one binary file's bytes. Throws CheckError on malformed input
+// (truncated records, out-of-range labels).
+void append_cifar_records(const std::vector<std::uint8_t>& bytes,
+                          const CifarFormat& format, Dataset& out);
+
+// Loads and concatenates the given files into one Dataset (32x32x3).
+Dataset load_cifar(const std::vector<std::string>& paths,
+                   const CifarFormat& format);
+
+}  // namespace fms

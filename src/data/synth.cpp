@@ -1,0 +1,163 @@
+#include "src/data/synth.h"
+
+#include <array>
+#include <cmath>
+
+namespace fms {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846F;
+
+// One grating image: sin(f * (x cos t + y sin t) + phase) mixed into the
+// three channels by the class color vector, plus noise.
+std::vector<float> grating_image(int size, float theta, float freq,
+                                 const std::array<float, 3>& color,
+                                 float noise_std, Rng& rng) {
+  const float phase = rng.uniform(0.0F, 2.0F * kPi);
+  const float gain = rng.uniform(0.7F, 1.3F);
+  std::vector<float> img(static_cast<std::size_t>(3) * size * size);
+  const float ct = std::cos(theta), st = std::sin(theta);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const float u = (static_cast<float>(x) / size - 0.5F) * 2.0F;
+      const float v = (static_cast<float>(y) / size - 0.5F) * 2.0F;
+      const float s = std::sin(freq * kPi * (u * ct + v * st) + phase) * gain;
+      for (int c = 0; c < 3; ++c) {
+        img[(static_cast<std::size_t>(c) * size + y) * size + x] =
+            s * color[static_cast<std::size_t>(c)] +
+            rng.normal(0.0F, noise_std);
+      }
+    }
+  }
+  return img;
+}
+
+// Class-conditional parameters for the grating family. variant selects one
+// of 10 frequency/color mixes, orientation_idx one of 10 orientations.
+struct GratingClass {
+  float theta;
+  float freq;
+  std::array<float, 3> color;
+};
+
+GratingClass grating_class(int orientation_idx, int variant) {
+  GratingClass g;
+  g.theta = static_cast<float>(orientation_idx) * kPi / 10.0F;
+  g.freq = 1.5F + 0.45F * static_cast<float>(variant % 5);
+  // Deterministic distinct color mixes per variant.
+  const float a = 0.4F + 0.06F * static_cast<float>(variant % 10);
+  g.color = {a, 1.0F - a, 0.3F + 0.07F * static_cast<float>(variant % 7)};
+  return g;
+}
+
+void fill_grating_dataset(Dataset& out, int n, int size, int num_classes,
+                          float noise_std, bool wide_family, Rng& rng) {
+  for (int i = 0; i < n; ++i) {
+    const int label = i % num_classes;  // balanced classes
+    GratingClass g = wide_family
+                         ? grating_class(label % 10, label / 10)
+                         : grating_class(label, label);
+    out.add(grating_image(size, g.theta, g.freq, g.color, noise_std, rng),
+            label);
+  }
+}
+
+// Seven-segment encodings for digits 0-9 (segments: top, top-left,
+// top-right, middle, bottom-left, bottom-right, bottom).
+constexpr std::array<std::array<int, 7>, 10> kSegments = {{
+    {1, 1, 1, 0, 1, 1, 1},  // 0
+    {0, 0, 1, 0, 0, 1, 0},  // 1
+    {1, 0, 1, 1, 1, 0, 1},  // 2
+    {1, 0, 1, 1, 0, 1, 1},  // 3
+    {0, 1, 1, 1, 0, 1, 0},  // 4
+    {1, 1, 0, 1, 0, 1, 1},  // 5
+    {1, 1, 0, 1, 1, 1, 1},  // 6
+    {1, 0, 1, 0, 0, 1, 0},  // 7
+    {1, 1, 1, 1, 1, 1, 1},  // 8
+    {1, 1, 1, 1, 0, 1, 1},  // 9
+}};
+
+std::vector<float> digit_image(int size, int digit, float noise_std,
+                               Rng& rng) {
+  std::vector<float> img(static_cast<std::size_t>(3) * size * size);
+  // Background clutter: low-frequency blobs, SVHN-style busy background.
+  for (int c = 0; c < 3; ++c) {
+    const float bias = rng.uniform(-0.4F, 0.4F);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        img[(static_cast<std::size_t>(c) * size + y) * size + x] =
+            bias + rng.normal(0.0F, noise_std * 0.8F);
+      }
+    }
+  }
+  // Digit bounding box with random placement and scale.
+  const int dh = std::max(7, size * 3 / 5);
+  const int dw = std::max(5, dh * 3 / 5);
+  const int oy = rng.randint(0, size - dh);
+  const int ox = rng.randint(0, size - dw);
+  const float stroke = rng.uniform(0.8F, 1.4F);
+  auto put = [&](int y, int x) {
+    if (y < 0 || y >= size || x < 0 || x >= size) return;
+    for (int c = 0; c < 3; ++c) {
+      img[(static_cast<std::size_t>(c) * size + y) * size + x] =
+          stroke * (c == 0 ? 1.0F : 0.85F);
+    }
+  };
+  const auto& seg = kSegments[static_cast<std::size_t>(digit)];
+  const int mid = oy + dh / 2;
+  const int bot = oy + dh - 1;
+  // Horizontal segments.
+  for (int x = ox; x < ox + dw; ++x) {
+    if (seg[0]) put(oy, x);
+    if (seg[3]) put(mid, x);
+    if (seg[6]) put(bot, x);
+  }
+  // Vertical segments.
+  for (int y = oy; y <= mid; ++y) {
+    if (seg[1]) put(y, ox);
+    if (seg[2]) put(y, ox + dw - 1);
+  }
+  for (int y = mid; y <= bot; ++y) {
+    if (seg[4]) put(y, ox);
+    if (seg[5]) put(y, ox + dw - 1);
+  }
+  return img;
+}
+
+}  // namespace
+
+TrainTest make_synth_c10(const SynthSpec& spec, Rng& rng) {
+  TrainTest tt{Dataset(10, 3, spec.image_size, spec.image_size),
+               Dataset(10, 3, spec.image_size, spec.image_size)};
+  fill_grating_dataset(tt.train, spec.train_size, spec.image_size, 10,
+                       spec.noise_std, /*wide_family=*/false, rng);
+  fill_grating_dataset(tt.test, spec.test_size, spec.image_size, 10,
+                       spec.noise_std, /*wide_family=*/false, rng);
+  return tt;
+}
+
+TrainTest make_synth_svhn(const SynthSpec& spec, Rng& rng) {
+  TrainTest tt{Dataset(10, 3, spec.image_size, spec.image_size),
+               Dataset(10, 3, spec.image_size, spec.image_size)};
+  for (int i = 0; i < spec.train_size; ++i) {
+    const int d = i % 10;
+    tt.train.add(digit_image(spec.image_size, d, spec.noise_std, rng), d);
+  }
+  for (int i = 0; i < spec.test_size; ++i) {
+    const int d = i % 10;
+    tt.test.add(digit_image(spec.image_size, d, spec.noise_std, rng), d);
+  }
+  return tt;
+}
+
+TrainTest make_synth_c100(const SynthSpec& spec, Rng& rng) {
+  TrainTest tt{Dataset(100, 3, spec.image_size, spec.image_size),
+               Dataset(100, 3, spec.image_size, spec.image_size)};
+  fill_grating_dataset(tt.train, spec.train_size, spec.image_size, 100,
+                       spec.noise_std, /*wide_family=*/true, rng);
+  fill_grating_dataset(tt.test, spec.test_size, spec.image_size, 100,
+                       spec.noise_std, /*wide_family=*/true, rng);
+  return tt;
+}
+
+}  // namespace fms

@@ -1,0 +1,36 @@
+// Procedural class-conditional image generators standing in for the
+// paper's datasets (see DESIGN.md §4 for the substitution rationale).
+//
+//  * SynthC10  — CIFAR10 stand-in: 10 classes of oriented sinusoidal
+//    gratings with class-specific orientation, frequency and channel
+//    color mix, plus per-sample phase jitter and Gaussian noise.
+//  * SynthSVHN — SVHN stand-in: 10 digit classes rendered from
+//    seven-segment templates with random placement, stroke jitter and
+//    background clutter (SVHN's "digits amid distractors" character).
+//  * SynthC100 — CIFAR100 stand-in: 100 classes drawn from the *same
+//    grating family* as SynthC10 (10 orientations x 10 frequency/color
+//    variants), so architectures searched on SynthC10 transfer
+//    meaningfully, mirroring the paper's CIFAR10 -> CIFAR100 transfer.
+#pragma once
+
+#include "src/data/dataset.h"
+
+namespace fms {
+
+struct SynthSpec {
+  int train_size = 2000;
+  int test_size = 500;
+  int image_size = 16;
+  float noise_std = 0.35F;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+TrainTest make_synth_c10(const SynthSpec& spec, Rng& rng);
+TrainTest make_synth_svhn(const SynthSpec& spec, Rng& rng);
+TrainTest make_synth_c100(const SynthSpec& spec, Rng& rng);
+
+}  // namespace fms

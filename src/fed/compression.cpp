@@ -1,0 +1,169 @@
+#include "src/fed/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/serialize.h"
+
+namespace fms {
+namespace {
+
+constexpr std::size_t kInt8ChunkSize = 256;  // values per quantization chunk
+
+// --- IEEE binary16 conversion (round-to-nearest) ---
+std::uint16_t float_to_half(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000U;
+  std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mant = x & 0x7FFFFFU;
+  if (exp <= 0) {
+    // Underflow to signed zero (denormals flushed — fine for weights).
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (exp >= 31) {
+    // Overflow to max finite magnitude (safer than inf for training).
+    return static_cast<std::uint16_t>(sign | 0x7BFFU);
+  }
+  // Round to nearest even on the dropped 13 bits.
+  const std::uint32_t rounded = mant + 0x0FFFU + ((mant >> 13) & 1U);
+  if (rounded & 0x800000U) {
+    ++exp;
+    if (exp >= 31) return static_cast<std::uint16_t>(sign | 0x7BFFU);
+    return static_cast<std::uint16_t>(sign |
+                                      (static_cast<std::uint32_t>(exp) << 10));
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exp) << 10) | (rounded >> 13));
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (h & 0x8000U) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1FU;
+  const std::uint32_t mant = h & 0x3FFU;
+  std::uint32_t x;
+  if (exp == 0) {
+    x = sign;  // flushed denormals
+  } else if (exp == 31) {
+    x = sign | 0x7F800000U | (mant << 13);
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, 4);
+  return f;
+}
+
+}  // namespace
+
+const char* codec_name(Codec c) {
+  switch (c) {
+    case Codec::kFloat32: return "float32";
+    case Codec::kFloat16: return "float16";
+    case Codec::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> codec_encode(std::span<const float> values,
+                                       Codec codec) {
+  ByteWriter w;
+  w.write(static_cast<std::uint8_t>(codec));
+  w.write(static_cast<std::uint64_t>(values.size()));
+  switch (codec) {
+    case Codec::kFloat32: {
+      for (float v : values) w.write(v);
+      break;
+    }
+    case Codec::kFloat16: {
+      for (float v : values) w.write(float_to_half(v));
+      break;
+    }
+    case Codec::kInt8: {
+      for (std::size_t start = 0; start < values.size();
+           start += kInt8ChunkSize) {
+        const std::size_t end =
+            std::min(values.size(), start + kInt8ChunkSize);
+        float lo = values[start], hi = values[start];
+        for (std::size_t i = start; i < end; ++i) {
+          lo = std::min(lo, values[i]);
+          hi = std::max(hi, values[i]);
+        }
+        const float scale = (hi - lo) > 0.0F ? (hi - lo) / 255.0F : 1.0F;
+        w.write(lo);
+        w.write(scale);
+        for (std::size_t i = start; i < end; ++i) {
+          const float q = std::round((values[i] - lo) / scale);
+          w.write(static_cast<std::uint8_t>(
+              std::clamp(q, 0.0F, 255.0F)));
+        }
+      }
+      break;
+    }
+  }
+  return w.take();
+}
+
+std::vector<float> codec_decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto codec = static_cast<Codec>(r.read<std::uint8_t>());
+  const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
+  std::vector<float> out;
+  out.reserve(n);
+  switch (codec) {
+    case Codec::kFloat32: {
+      for (std::size_t i = 0; i < n; ++i) out.push_back(r.read<float>());
+      break;
+    }
+    case Codec::kFloat16: {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(half_to_float(r.read<std::uint16_t>()));
+      }
+      break;
+    }
+    case Codec::kInt8: {
+      std::size_t remaining = n;
+      while (remaining > 0) {
+        const std::size_t chunk = std::min(remaining, kInt8ChunkSize);
+        const float lo = r.read<float>();
+        const float scale = r.read<float>();
+        for (std::size_t i = 0; i < chunk; ++i) {
+          out.push_back(lo + scale * static_cast<float>(r.read<std::uint8_t>()));
+        }
+        remaining -= chunk;
+      }
+      break;
+    }
+    default:
+      FMS_CHECK_MSG(false, "corrupt codec tag");
+  }
+  FMS_CHECK_MSG(r.exhausted(), "trailing bytes in compressed payload");
+  return out;
+}
+
+std::size_t codec_encoded_bytes(std::size_t n, Codec codec) {
+  const std::size_t header = 1 + 8;
+  switch (codec) {
+    case Codec::kFloat32:
+      return header + 4 * n;
+    case Codec::kFloat16:
+      return header + 2 * n;
+    case Codec::kInt8: {
+      const std::size_t chunks = (n + kInt8ChunkSize - 1) / kInt8ChunkSize;
+      return header + chunks * 8 + n;
+    }
+  }
+  return 0;
+}
+
+std::vector<float> codec_round_trip(std::span<const float> values,
+                                    Codec codec) {
+  if (codec == Codec::kFloat32) {
+    return std::vector<float>(values.begin(), values.end());
+  }
+  return codec_decode(codec_encode(values, codec));
+}
+
+}  // namespace fms

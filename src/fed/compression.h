@@ -1,0 +1,40 @@
+// Lossy payload compression for federated messages.
+//
+// The paper's efficiency argument is about *what* is shipped (sub-models
+// instead of the supernet); an orthogonal production lever is *how* it is
+// shipped. This module provides three codecs for float payloads:
+//
+//   kFloat32 — raw (lossless, 4 B/value; the default everywhere),
+//   kFloat16 — IEEE binary16 (2 B/value, ~1e-3 relative error),
+//   kInt8    — per-chunk affine quantization (1 B/value + per-chunk scale).
+//
+// FederatedSearch can apply a codec to both the sub-model download and
+// the gradient upload (SearchOptions::codec); the quantization noise then
+// flows through training exactly as it would in a real deployment, and
+// bench_ablation_compression measures the bytes-vs-accuracy trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fms {
+
+enum class Codec { kFloat32, kFloat16, kInt8 };
+
+const char* codec_name(Codec c);
+
+// Encodes values; the buffer is self-describing (codec tag + count).
+std::vector<std::uint8_t> codec_encode(std::span<const float> values,
+                                       Codec codec);
+// Decodes a buffer produced by codec_encode.
+std::vector<float> codec_decode(const std::vector<std::uint8_t>& bytes);
+
+// Size in bytes that encoding n values with the codec produces.
+std::size_t codec_encoded_bytes(std::size_t n, Codec codec);
+
+// Convenience: one lossy round-trip (what the receiver actually sees).
+std::vector<float> codec_round_trip(std::span<const float> values,
+                                    Codec codec);
+
+}  // namespace fms

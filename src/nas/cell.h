@@ -1,0 +1,88 @@
+// A DARTS cell: a DAG with two input nodes (outputs of the two preceding
+// cells), `nodes` intermediate nodes, and an output that concatenates all
+// intermediate nodes. Every (node, earlier-state) pair is an edge holding
+// all 8 candidate operations; which one runs is chosen per call:
+//
+//  * forward(..., mask)   — one op per edge (sampled sub-model; this is the
+//    only mode the paper's method ever ships to a participant), or
+//  * forward_mixed(...)   — probability-weighted sum over ops (used by the
+//    DARTS / FedNAS baselines, which pay the full supernet cost).
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "src/nas/ops.h"
+
+namespace fms {
+
+struct CellSpec {
+  int nodes = 3;         // intermediate nodes
+  int c_prev_prev = 8;   // channels of cell k-2 output
+  int c_prev = 8;        // channels of cell k-1 output
+  int c = 8;             // operating channels of this cell
+  bool reduction = false;
+  bool reduction_prev = false;
+};
+
+using EdgeWeights = std::vector<std::array<float, kNumOps>>;
+
+class Cell {
+ public:
+  Cell(const CellSpec& spec, Rng& rng);
+
+  // Edges for `nodes` intermediate nodes: node i has (2 + i) inputs.
+  static int num_edges(int nodes) {
+    return nodes * (nodes + 3) / 2;  // sum_{i=0}^{nodes-1} (2 + i)
+  }
+  int num_edges() const { return num_edges(spec_.nodes); }
+  int out_channels() const { return spec_.nodes * spec_.c; }
+  const CellSpec& spec() const { return spec_; }
+
+  // Returns the flat edge index of (node i, input state j).
+  int edge_index(int node, int input) const;
+
+  // --- sub-model mode ---
+  Tensor forward(const Tensor& s0, const Tensor& s1,
+                 const std::vector<int>& mask, bool train);
+  // Gradients w.r.t. (s0, s1) of the last masked forward.
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_out);
+
+  // --- mixed (continuous relaxation) mode ---
+  Tensor forward_mixed(const Tensor& s0, const Tensor& s1,
+                       const EdgeWeights& weights, bool train);
+  // Also accumulates dLoss/dWeight into grad_weights.
+  std::pair<Tensor, Tensor> backward_mixed(const Tensor& grad_out,
+                                           EdgeWeights& grad_weights);
+
+  // All parameters: pre0, pre1, then ops in edge-major, op-minor order.
+  void collect_params(std::vector<Param*>& out);
+  // Parameters of the preprocessing layers only (always part of a
+  // sub-model).
+  void collect_shared_params(std::vector<Param*>& out);
+  // Parameters of a single candidate op.
+  void collect_op_params(int edge, int op, std::vector<Param*>& out);
+
+ private:
+  Tensor run_nodes(bool train);
+  std::pair<Tensor, Tensor> finish_backward(std::vector<Tensor>&& grad_states);
+
+  CellSpec spec_;
+  std::unique_ptr<Module> pre0_;
+  std::unique_ptr<Module> pre1_;
+  // ops_[edge][op]
+  std::vector<std::array<std::unique_ptr<Module>, kNumOps>> ops_;
+
+  // Caches for backward.
+  std::vector<Tensor> states_;
+  std::vector<int> cached_mask_;
+  EdgeWeights cached_weights_;
+  // Mixed mode: per-edge per-op outputs and per-node grads need the op
+  // outputs to compute dL/dweight.
+  std::vector<std::array<Tensor, kNumOps>> mixed_outputs_;
+  bool mixed_mode_ = false;
+  bool has_cache_ = false;
+};
+
+}  // namespace fms

@@ -1,0 +1,59 @@
+#include "src/nas/dot_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace fms {
+namespace {
+
+void emit_cell(std::ostream& os, const char* name,
+               const std::vector<GenotypeEdge>& edges, int nodes) {
+  os << "  subgraph cluster_" << name << " {\n"
+     << "    label=\"" << name << " cell\";\n"
+     << "    style=rounded;\n";
+  auto state = [&](int s) {
+    std::ostringstream id;
+    id << name << "_s" << s;
+    return id.str();
+  };
+  os << "    " << state(0) << " [label=\"c_{k-2}\", shape=box];\n";
+  os << "    " << state(1) << " [label=\"c_{k-1}\", shape=box];\n";
+  for (int n = 0; n < nodes; ++n) {
+    os << "    " << state(2 + n) << " [label=\"" << n << "\"];\n";
+  }
+  os << "    " << name << "_out [label=\"concat\", shape=box];\n";
+  for (int n = 0; n < nodes; ++n) {
+    for (int k = 0; k < 2; ++k) {
+      const GenotypeEdge& e = edges[static_cast<std::size_t>(2 * n + k)];
+      os << "    " << state(e.input) << " -> " << state(2 + n) << " [label=\""
+         << op_name(e.op) << "\"];\n";
+    }
+    os << "    " << state(2 + n) << " -> " << name << "_out;\n";
+  }
+  os << "  }\n";
+}
+
+}  // namespace
+
+std::string genotype_to_dot(const Genotype& genotype) {
+  FMS_CHECK(genotype.nodes > 0 &&
+            genotype.normal.size() ==
+                static_cast<std::size_t>(2 * genotype.nodes) &&
+            genotype.reduce.size() == genotype.normal.size());
+  std::ostringstream os;
+  os << "digraph genotype {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  emit_cell(os, "normal", genotype.normal, genotype.nodes);
+  emit_cell(os, "reduce", genotype.reduce, genotype.nodes);
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot_file(const std::string& path, const Genotype& genotype) {
+  std::ofstream f(path);
+  FMS_CHECK_MSG(f.good(), "cannot open " << path);
+  f << genotype_to_dot(genotype);
+}
+
+}  // namespace fms

@@ -1,0 +1,21 @@
+// Graphviz (DOT) export of searched architectures.
+//
+// `dot genotype.dot -Tpng -o cell.png` renders the normal and reduction
+// cells of a Genotype — the standard way NAS papers visualize results and
+// the quickest sanity check that a search found something structured.
+#pragma once
+
+#include <string>
+
+#include "src/nas/genotype.h"
+
+namespace fms {
+
+// Returns a complete DOT document with two clusters (normal + reduction
+// cell). State nodes are c_{k-2}, c_{k-1}, intermediate nodes 0..B-1, and
+// the concatenated output; edges are labeled with their operation.
+std::string genotype_to_dot(const Genotype& genotype);
+
+void write_dot_file(const std::string& path, const Genotype& genotype);
+
+}  // namespace fms

@@ -1,0 +1,97 @@
+#include "src/nas/genotype.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace fms {
+
+std::array<float, kNumOps> alpha_softmax(
+    const std::array<float, kNumOps>& row) {
+  std::array<float, kNumOps> p{};
+  float mx = row[0];
+  for (float v : row) mx = std::max(mx, v);
+  float z = 0.0F;
+  for (int i = 0; i < kNumOps; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        std::exp(row[static_cast<std::size_t>(i)] - mx);
+    z += p[static_cast<std::size_t>(i)];
+  }
+  for (auto& v : p) v /= z;
+  return p;
+}
+
+namespace {
+
+std::vector<GenotypeEdge> discretize_one(const AlphaTable& alpha, int nodes) {
+  FMS_CHECK(static_cast<int>(alpha.size()) == nodes * (nodes + 3) / 2);
+  std::vector<GenotypeEdge> out;
+  int base = 0;
+  for (int node = 0; node < nodes; ++node) {
+    const int num_inputs = 2 + node;
+    // For each incoming edge, find the best non-zero op and its prob.
+    struct Scored {
+      int input;
+      OpType op;
+      float score;
+    };
+    std::vector<Scored> scored;
+    for (int input = 0; input < num_inputs; ++input) {
+      const auto p = alpha_softmax(alpha[static_cast<std::size_t>(base + input)]);
+      int best_op = static_cast<int>(OpType::kIdentity);
+      float best = -1.0F;
+      for (int op = 0; op < kNumOps; ++op) {
+        if (op == static_cast<int>(OpType::kZero)) continue;
+        if (p[static_cast<std::size_t>(op)] > best) {
+          best = p[static_cast<std::size_t>(op)];
+          best_op = op;
+        }
+      }
+      scored.push_back({input, static_cast<OpType>(best_op), best});
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.score > b.score;
+                     });
+    const int keep = std::min<int>(2, static_cast<int>(scored.size()));
+    // Keep input order deterministic within the node.
+    std::vector<Scored> top(scored.begin(), scored.begin() + keep);
+    std::sort(top.begin(), top.end(), [](const Scored& a, const Scored& b) {
+      return a.input < b.input;
+    });
+    for (const auto& s : top) out.push_back({s.input, s.op});
+    base += num_inputs;
+  }
+  return out;
+}
+
+}  // namespace
+
+Genotype discretize(const AlphaTable& alpha_normal,
+                    const AlphaTable& alpha_reduce, int nodes) {
+  Genotype g;
+  g.nodes = nodes;
+  g.normal = discretize_one(alpha_normal, nodes);
+  g.reduce = discretize_one(alpha_reduce, nodes);
+  return g;
+}
+
+std::string Genotype::to_string() const {
+  std::ostringstream os;
+  auto dump = [&](const char* name, const std::vector<GenotypeEdge>& edges) {
+    os << name << ": [";
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i) os << ", ";
+      os << "(" << op_name(edges[i].op) << ", s" << edges[i].input << ")";
+    }
+    os << "]";
+  };
+  dump("normal", normal);
+  os << " ";
+  dump("reduce", reduce);
+  return os.str();
+}
+
+}  // namespace fms

@@ -1,0 +1,39 @@
+// Discretized architecture description (the output of the search phase).
+//
+// Following DARTS, each intermediate node keeps its two strongest incoming
+// edges, each carrying its argmax non-zero operation; "strength" is the
+// softmax probability of the edge's best non-zero op under alpha.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/nas/ops.h"
+
+namespace fms {
+
+struct GenotypeEdge {
+  int input = 0;                      // state index feeding this edge
+  OpType op = OpType::kIdentity;
+};
+
+struct Genotype {
+  int nodes = 0;
+  // 2 entries per node, node-major.
+  std::vector<GenotypeEdge> normal;
+  std::vector<GenotypeEdge> reduce;
+
+  std::string to_string() const;
+};
+
+// Raw (pre-softmax) alpha rows per edge.
+using AlphaTable = std::vector<std::array<float, kNumOps>>;
+
+// Softmax over one alpha row (Eq. 4 of the paper).
+std::array<float, kNumOps> alpha_softmax(const std::array<float, kNumOps>& row);
+
+Genotype discretize(const AlphaTable& alpha_normal,
+                    const AlphaTable& alpha_reduce, int nodes);
+
+}  // namespace fms

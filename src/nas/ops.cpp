@@ -1,0 +1,65 @@
+#include "src/nas/ops.h"
+
+namespace fms {
+
+const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::kZero: return "none";
+    case OpType::kIdentity: return "skip_connect";
+    case OpType::kMaxPool3: return "max_pool_3x3";
+    case OpType::kAvgPool3: return "avg_pool_3x3";
+    case OpType::kSepConv3: return "sep_conv_3x3";
+    case OpType::kSepConv5: return "sep_conv_5x5";
+    case OpType::kDilConv3: return "dil_conv_3x3";
+    case OpType::kDilConv5: return "dil_conv_5x5";
+  }
+  return "unknown";
+}
+
+Tensor ZeroOp::forward(const Tensor& x, bool train) {
+  if (train) cached_in_shape_ = x.shape();
+  if (stride_ == 1) return Tensor(x.shape());
+  return Tensor({x.dim(0), x.dim(1), x.dim(2) / stride_, x.dim(3) / stride_});
+}
+
+Tensor ZeroOp::backward(const Tensor& grad_out) {
+  (void)grad_out;
+  FMS_CHECK_MSG(!cached_in_shape_.empty(),
+                "ZeroOp::backward without train forward");
+  return Tensor(cached_in_shape_);
+}
+
+std::unique_ptr<Module> make_candidate_op(OpType op, int channels, int stride,
+                                          Rng& rng) {
+  switch (op) {
+    case OpType::kZero:
+      return std::make_unique<ZeroOp>(stride);
+    case OpType::kIdentity:
+      if (stride == 1) return std::make_unique<Identity>();
+      return make_factorized_reduce(channels, channels, rng);
+    case OpType::kMaxPool3: {
+      auto seq = std::make_unique<Sequential>();
+      seq->add(std::make_unique<MaxPool2d>(3, stride, 1));
+      seq->add(std::make_unique<BatchNorm2d>(channels));
+      return seq;
+    }
+    case OpType::kAvgPool3: {
+      auto seq = std::make_unique<Sequential>();
+      seq->add(std::make_unique<AvgPool2d>(3, stride, 1));
+      seq->add(std::make_unique<BatchNorm2d>(channels));
+      return seq;
+    }
+    case OpType::kSepConv3:
+      return make_sep_conv(channels, 3, stride, rng);
+    case OpType::kSepConv5:
+      return make_sep_conv(channels, 5, stride, rng);
+    case OpType::kDilConv3:
+      return make_dil_conv(channels, 3, stride, rng);
+    case OpType::kDilConv5:
+      return make_dil_conv(channels, 5, stride, rng);
+  }
+  FMS_CHECK_MSG(false, "unknown op type");
+  return nullptr;
+}
+
+}  // namespace fms

@@ -1,0 +1,53 @@
+// Learning-rate schedules.
+//
+// DARTS-style retraining anneals the learning rate with a cosine schedule
+// over the training horizon; the paper's P3 inherits that recipe. The
+// retraining loops accept an optional schedule (nullptr = constant LR, the
+// default used by the fast CPU benches).
+#pragma once
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fms {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate for step t of total_steps.
+  virtual float lr_at(int step, int total_steps) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) { FMS_CHECK(lr > 0.0F); }
+  float lr_at(int, int) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// eta_t = eta_min + (eta_max - eta_min) * (1 + cos(pi * t / T)) / 2.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float lr_max, float lr_min = 0.0F)
+      : lr_max_(lr_max), lr_min_(lr_min) {
+    FMS_CHECK(lr_max > lr_min && lr_min >= 0.0F);
+  }
+
+  float lr_at(int step, int total_steps) const override {
+    FMS_CHECK(total_steps > 0 && step >= 0);
+    const float t = std::min(1.0F, static_cast<float>(step) /
+                                       static_cast<float>(total_steps));
+    constexpr float kPi = 3.14159265358979323846F;
+    return lr_min_ +
+           (lr_max_ - lr_min_) * 0.5F * (1.0F + std::cos(kPi * t));
+  }
+
+ private:
+  float lr_max_;
+  float lr_min_;
+};
+
+}  // namespace fms

@@ -1,0 +1,55 @@
+#include "src/nn/module.h"
+
+#include "src/common/check.h"
+
+namespace fms {
+
+std::vector<float> flatten_values(const std::vector<Param*>& params) {
+  std::vector<float> flat;
+  std::size_t total = 0;
+  for (const Param* p : params) total += p->numel();
+  flat.reserve(total);
+  for (const Param* p : params) {
+    flat.insert(flat.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return flat;
+}
+
+std::vector<float> flatten_grads(const std::vector<Param*>& params) {
+  std::vector<float> flat;
+  std::size_t total = 0;
+  for (const Param* p : params) total += p->numel();
+  flat.reserve(total);
+  for (const Param* p : params) {
+    flat.insert(flat.end(), p->grad.vec().begin(), p->grad.vec().end());
+  }
+  return flat;
+}
+
+void unflatten_values(const std::vector<float>& flat,
+                      const std::vector<Param*>& params) {
+  std::size_t pos = 0;
+  for (Param* p : params) {
+    FMS_CHECK_MSG(pos + p->numel() <= flat.size(), "flat vector too short");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + p->numel()),
+              p->value.vec().begin());
+    pos += p->numel();
+  }
+  FMS_CHECK_MSG(pos == flat.size(), "flat vector size mismatch");
+}
+
+void accumulate_grads(const std::vector<float>& flat,
+                      const std::vector<Param*>& params) {
+  std::size_t pos = 0;
+  for (Param* p : params) {
+    FMS_CHECK_MSG(pos + p->numel() <= flat.size(), "flat vector too short");
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      p->grad.vec()[i] += flat[pos + i];
+    }
+    pos += p->numel();
+  }
+  FMS_CHECK_MSG(pos == flat.size(), "flat vector size mismatch");
+}
+
+}  // namespace fms

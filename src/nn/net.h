@@ -1,0 +1,23 @@
+// Minimal interface for a trainable classifier network — what the P3
+// retraining loops and the FedAvg baseline need, satisfied by DiscreteNet
+// and the hand-designed baseline models.
+#pragma once
+
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace fms {
+
+class TrainableNet {
+ public:
+  virtual ~TrainableNet() = default;
+
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  virtual void backward(const Tensor& grad_logits) = 0;
+  virtual const std::vector<Param*>& params() = 0;
+  virtual void zero_grad() = 0;
+  virtual std::size_t param_count() const = 0;
+};
+
+}  // namespace fms

@@ -1,0 +1,79 @@
+// The RL controller: an architecture-parameter matrix alpha acting as a
+// stochastic policy over sub-models (paper §IV).
+//
+//  * sampling:  per edge, op i is chosen with p_i = softmax(alpha)_i
+//    (Eq. 4) and materialized as a one-hot mask (Eq. 5);
+//  * learning:  REINFORCE with the analytic log-prob gradient
+//    ∇alpha log p_i = (… , 1 − p_i , …, −p_j , …) (Eq. 12), so the policy
+//    update needs no backpropagation and runs entirely on the server;
+//  * baseline:  moving-average reward baseline b_{t+1} (Eq. 8–9) to reduce
+//    gradient variance.
+#pragma once
+
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/stats.h"
+#include "src/nas/genotype.h"
+#include "src/nas/supernet.h"
+
+namespace fms {
+
+// Alpha (or an alpha-shaped gradient) for both cell templates.
+struct AlphaPair {
+  AlphaTable normal;
+  AlphaTable reduce;
+
+  static AlphaPair zeros(int num_edges);
+
+  void add_scaled(const AlphaPair& other, float scale);
+  void scale(float s);
+  float l2_norm() const;
+  // Scales so the global L2 norm is at most max_norm; returns pre-clip norm.
+  float clip(float max_norm);
+
+  std::vector<float> flatten() const;
+  static AlphaPair unflatten(const std::vector<float>& flat, int num_edges);
+};
+
+class ArchPolicy {
+ public:
+  ArchPolicy(int num_edges, AlphaOptConfig cfg);
+
+  int num_edges() const { return num_edges_; }
+  const AlphaPair& alpha() const { return alpha_; }
+  void set_alpha(AlphaPair a) { alpha_ = std::move(a); }
+
+  // Eq. 4 per edge; Eq. 5 across edges: one-hot op per edge.
+  Mask sample(Rng& rng) const;
+
+  // Probability of sampling `mask` under the current alpha.
+  double log_prob(const Mask& mask) const;
+
+  // Eq. 12, evaluated at the current alpha.
+  AlphaPair log_prob_grad(const Mask& mask) const;
+  // Eq. 12 evaluated at an arbitrary (possibly stale) alpha — needed by the
+  // delay-compensated update (Eq. 15).
+  static AlphaPair log_prob_grad_at(const AlphaPair& alpha, const Mask& mask);
+
+  // Moving-average baseline (Eq. 9): b_{t+1} = beta*mean_acc + (1-beta)*b_t.
+  // Returns the updated baseline to subtract from this round's accuracies.
+  double update_baseline(double round_mean_accuracy);
+  double baseline() const { return baseline_.value(); }
+
+  // Gradient-ascent step on J (with weight decay and global-norm clip).
+  void apply_gradient(const AlphaPair& grad_j);
+
+  // Discretizes the current alpha into a final architecture.
+  Genotype derive_genotype(int nodes) const;
+
+  const AlphaOptConfig& options() const { return cfg_; }
+
+ private:
+  int num_edges_;
+  AlphaOptConfig cfg_;
+  AlphaPair alpha_;
+  ExpMovingAverage baseline_;
+};
+
+}  // namespace fms

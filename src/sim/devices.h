@@ -1,0 +1,36 @@
+// Device compute profiles for the search-time experiment (Table V).
+//
+// The paper measures wall-clock search time with GTX 1080 Ti GPUs and a
+// Jetson TX2 as participants; neither is available here, so we model
+// participant compute time with calibrated relative throughputs (the TX2's
+// effective training throughput is roughly 4-5x below a 1080 Ti for small
+// CNNs) applied to a FLOP estimate of the trained sub-model. Table V
+// compares *relative* times across methods and devices, which this
+// cost model preserves.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fms {
+
+struct DeviceProfile {
+  std::string name;
+  double flops_per_second;  // sustained training throughput
+};
+
+inline DeviceProfile gtx_1080ti() { return {"GTX 1080 Ti", 2.2e12}; }
+inline DeviceProfile jetson_tx2() { return {"Jetson TX2", 5.0e11}; }
+
+// Rough FLOP count for one training step (forward + backward ~ 3x forward)
+// of a model with `params` parameters on a batch of `batch` images with
+// `pixels` spatial positions. Standard parameter-reuse estimate for CNNs.
+inline double training_step_flops(std::size_t params, int batch, int pixels) {
+  return 3.0 * 2.0 * static_cast<double>(params) * batch * pixels;
+}
+
+inline double compute_seconds(const DeviceProfile& dev, double flops) {
+  return flops / dev.flops_per_second;
+}
+
+}  // namespace fms

@@ -1,0 +1,39 @@
+#include "src/sim/staleness.h"
+
+#include "src/common/check.h"
+
+namespace fms {
+
+StalenessDistribution::StalenessDistribution(std::vector<double> p_tau)
+    : p_tau_(std::move(p_tau)) {
+  double sum = 0.0;
+  for (double p : p_tau_) {
+    FMS_CHECK_MSG(p >= 0.0, "negative probability");
+    sum += p;
+  }
+  FMS_CHECK_MSG(sum <= 1.0 + 1e-9, "staleness probabilities exceed 1");
+  drop_p_ = std::max(0.0, 1.0 - sum);
+}
+
+int StalenessDistribution::sample(Rng& rng) const {
+  double u = rng.uniform(0.0F, 1.0F);
+  for (std::size_t t = 0; t < p_tau_.size(); ++t) {
+    if (u < p_tau_[t]) return static_cast<int>(t);
+    u -= p_tau_[t];
+  }
+  return kExceedsThreshold;
+}
+
+StalenessDistribution StalenessDistribution::none() {
+  return StalenessDistribution({1.0});
+}
+
+StalenessDistribution StalenessDistribution::severe() {
+  return StalenessDistribution({0.3, 0.4, 0.2});
+}
+
+StalenessDistribution StalenessDistribution::slight() {
+  return StalenessDistribution({0.9, 0.09, 0.009});
+}
+
+}  // namespace fms

@@ -1,0 +1,40 @@
+// Staleness models for the soft-synchronization experiments (paper §VI-C).
+//
+// The paper specifies staleness as a distribution over update delays: e.g.
+// the "severe" setting has 30% fresh updates, 40% stale by one round, 20%
+// stale by two, and 10% beyond the staleness threshold (discarded). A
+// sampled delay of kExceedsThreshold means the update never counts.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace fms {
+
+inline constexpr int kExceedsThreshold = -1;
+
+class StalenessDistribution {
+ public:
+  // p_tau[t] = probability an update is delayed by t rounds; the remaining
+  // mass (1 - sum) exceeds the staleness threshold.
+  explicit StalenessDistribution(std::vector<double> p_tau);
+
+  // Returns a delay in rounds, or kExceedsThreshold.
+  int sample(Rng& rng) const;
+
+  int max_delay() const { return static_cast<int>(p_tau_.size()) - 1; }
+  double drop_probability() const { return drop_p_; }
+  double fresh_fraction() const { return p_tau_.empty() ? 0.0 : p_tau_[0]; }
+
+  // Paper's two reference settings.
+  static StalenessDistribution none();    // hard synchronization (all fresh)
+  static StalenessDistribution severe();  // 30/40/20/10 ("70% staleness")
+  static StalenessDistribution slight();  // 90/9/0.9/0.1 ("10% staleness")
+
+ private:
+  std::vector<double> p_tau_;
+  double drop_p_;
+};
+
+}  // namespace fms

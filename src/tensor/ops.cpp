@@ -1,0 +1,383 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fms {
+
+int conv_out_size(int in, int kernel, int stride, int padding, int dilation) {
+  int eff = dilation * (kernel - 1) + 1;
+  int out = (in + 2 * padding - eff) / stride + 1;
+  FMS_CHECK_MSG(out > 0, "conv output collapsed to zero");
+  return out;
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w,
+                      const Conv2dSpec& spec) {
+  FMS_CHECK(x.ndim() == 4 && w.ndim() == 4);
+  const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int cout = w.dim(0), cin_g = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  const int g = spec.groups;
+  FMS_CHECK_MSG(cin % g == 0 && cout % g == 0 && cin / g == cin_g,
+                "channel/group mismatch: cin=" << cin << " cout=" << cout
+                                               << " groups=" << g);
+  const int ho = conv_out_size(h, kh, spec.stride, spec.padding, spec.dilation);
+  const int wo = conv_out_size(ww, kw, spec.stride, spec.padding, spec.dilation);
+  const int cout_g = cout / g;
+
+  Tensor y({n, cout, ho, wo});
+  for (int in = 0; in < n; ++in) {
+    for (int gi = 0; gi < g; ++gi) {
+      for (int oc = 0; oc < cout_g; ++oc) {
+        const int oc_abs = gi * cout_g + oc;
+        for (int oh = 0; oh < ho; ++oh) {
+          for (int ow = 0; ow < wo; ++ow) {
+            float acc = 0.0F;
+            for (int ic = 0; ic < cin_g; ++ic) {
+              const int ic_abs = gi * cin_g + ic;
+              for (int r = 0; r < kh; ++r) {
+                const int ih = oh * spec.stride - spec.padding + r * spec.dilation;
+                if (ih < 0 || ih >= h) continue;
+                for (int c = 0; c < kw; ++c) {
+                  const int iw = ow * spec.stride - spec.padding + c * spec.dilation;
+                  if (iw < 0 || iw >= ww) continue;
+                  acc += x.at4(in, ic_abs, ih, iw) * w.at4(oc_abs, ic, r, c);
+                }
+              }
+            }
+            y.at4(in, oc_abs, oh, ow) = acc;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& grad_y, const Conv2dSpec& spec) {
+  const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int cout = w.dim(0), cin_g = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  const int g = spec.groups;
+  const int ho = grad_y.dim(2), wo = grad_y.dim(3);
+  FMS_CHECK(grad_y.dim(0) == n && grad_y.dim(1) == cout);
+  const int cout_g = cout / g;
+
+  Conv2dGrads out{Tensor({n, cin, h, ww}), Tensor({cout, cin_g, kh, kw})};
+  for (int in = 0; in < n; ++in) {
+    for (int gi = 0; gi < g; ++gi) {
+      for (int oc = 0; oc < cout_g; ++oc) {
+        const int oc_abs = gi * cout_g + oc;
+        for (int oh = 0; oh < ho; ++oh) {
+          for (int ow = 0; ow < wo; ++ow) {
+            const float gy = grad_y.at4(in, oc_abs, oh, ow);
+            if (gy == 0.0F) continue;
+            for (int ic = 0; ic < cin_g; ++ic) {
+              const int ic_abs = gi * cin_g + ic;
+              for (int r = 0; r < kh; ++r) {
+                const int ih = oh * spec.stride - spec.padding + r * spec.dilation;
+                if (ih < 0 || ih >= h) continue;
+                for (int c = 0; c < kw; ++c) {
+                  const int iw = ow * spec.stride - spec.padding + c * spec.dilation;
+                  if (iw < 0 || iw >= ww) continue;
+                  out.grad_x.at4(in, ic_abs, ih, iw) += gy * w.at4(oc_abs, ic, r, c);
+                  out.grad_w.at4(oc_abs, ic, r, c) += gy * x.at4(in, ic_abs, ih, iw);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, int kernel, int stride,
+                                int padding) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = conv_out_size(h, kernel, stride, padding, 1);
+  const int wo = conv_out_size(w, kernel, stride, padding, 1);
+  MaxPoolResult res{Tensor({n, c, ho, wo}), {}};
+  res.argmax.resize(res.y.numel());
+  std::size_t oi = 0;
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      for (int oh = 0; oh < ho; ++oh) {
+        for (int ow = 0; ow < wo; ++ow, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          bool found = false;
+          for (int r = 0; r < kernel; ++r) {
+            const int ih = oh * stride - padding + r;
+            if (ih < 0 || ih >= h) continue;
+            for (int cc = 0; cc < kernel; ++cc) {
+              const int iw = ow * stride - padding + cc;
+              if (iw < 0 || iw >= w) continue;
+              const float v = x.at4(in, ic, ih, iw);
+              if (!found || v > best) {
+                best = v;
+                best_idx = x.offset4(in, ic, ih, iw);
+                found = true;
+              }
+            }
+          }
+          // Window fully in padding cannot happen with valid out sizes.
+          res.y[oi] = found ? best : 0.0F;
+          res.argmax[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor maxpool2d_backward(const Tensor& x, const MaxPoolResult& fwd,
+                          const Tensor& grad_y) {
+  Tensor grad_x(x.shape());
+  FMS_CHECK(grad_y.numel() == fwd.argmax.size());
+  for (std::size_t i = 0; i < fwd.argmax.size(); ++i) {
+    grad_x[fwd.argmax[i]] += grad_y[i];
+  }
+  return grad_x;
+}
+
+Tensor avgpool2d_forward(const Tensor& x, int kernel, int stride, int padding) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = conv_out_size(h, kernel, stride, padding, 1);
+  const int wo = conv_out_size(w, kernel, stride, padding, 1);
+  Tensor y({n, c, ho, wo});
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      for (int oh = 0; oh < ho; ++oh) {
+        for (int ow = 0; ow < wo; ++ow) {
+          float acc = 0.0F;
+          for (int r = 0; r < kernel; ++r) {
+            const int ih = oh * stride - padding + r;
+            if (ih < 0 || ih >= h) continue;
+            for (int cc = 0; cc < kernel; ++cc) {
+              const int iw = ow * stride - padding + cc;
+              if (iw < 0 || iw >= w) continue;
+              acc += x.at4(in, ic, ih, iw);
+            }
+          }
+          // count_include_pad=True semantics (matches PyTorch default used
+          // by DARTS): divide by the full window size.
+          y.at4(in, ic, oh, ow) = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor avgpool2d_backward(const Tensor& x, const Tensor& grad_y, int kernel,
+                          int stride, int padding) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = grad_y.dim(2), wo = grad_y.dim(3);
+  Tensor grad_x(x.shape());
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      for (int oh = 0; oh < ho; ++oh) {
+        for (int ow = 0; ow < wo; ++ow) {
+          const float gy = grad_y.at4(in, ic, oh, ow) * inv;
+          for (int r = 0; r < kernel; ++r) {
+            const int ih = oh * stride - padding + r;
+            if (ih < 0 || ih >= h) continue;
+            for (int cc = 0; cc < kernel; ++cc) {
+              const int iw = ow * stride - padding + cc;
+              if (iw < 0 || iw >= w) continue;
+              grad_x.at4(in, ic, ih, iw) += gy;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      float acc = 0.0F;
+      for (int ih = 0; ih < h; ++ih)
+        for (int iw = 0; iw < w; ++iw) acc += x.at4(in, ic, ih, iw);
+      y.at2(in, ic) = acc * inv;
+    }
+  }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& x, const Tensor& grad_y) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor grad_x(x.shape());
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const float gy = grad_y.at2(in, ic) * inv;
+      for (int ih = 0; ih < h; ++ih)
+        for (int iw = 0; iw < w; ++iw) grad_x.at4(in, ic, ih, iw) = gy;
+    }
+  }
+  return grad_x;
+}
+
+Tensor relu_forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = std::max(0.0F, y[i]);
+  return y;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& grad_y) {
+  FMS_CHECK(x.same_shape(grad_y));
+  Tensor grad_x(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    grad_x[i] = x[i] > 0.0F ? grad_y[i] : 0.0F;
+  }
+  return grad_x;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FMS_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a.at2(i, kk);
+      if (av == 0.0F) continue;
+      for (int j = 0; j < n; ++j) c.at2(i, j) += av * b.at2(kk, j);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  FMS_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int kk = 0; kk < k; ++kk) {
+    for (int i = 0; i < m; ++i) {
+      const float av = a.at2(kk, i);
+      if (av == 0.0F) continue;
+      for (int j = 0; j < n; ++j) c.at2(i, j) += av * b.at2(kk, j);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  FMS_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (int kk = 0; kk < k; ++kk) acc += a.at2(i, kk) * b.at2(j, kk);
+      c.at2(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor concat_channels(const std::vector<Tensor>& parts) {
+  FMS_CHECK(!parts.empty());
+  const int n = parts[0].dim(0), h = parts[0].dim(2), w = parts[0].dim(3);
+  int c_total = 0;
+  for (const auto& p : parts) {
+    FMS_CHECK(p.ndim() == 4 && p.dim(0) == n && p.dim(2) == h && p.dim(3) == w);
+    c_total += p.dim(1);
+  }
+  Tensor y({n, c_total, h, w});
+  for (int in = 0; in < n; ++in) {
+    int c_off = 0;
+    for (const auto& p : parts) {
+      const int c = p.dim(1);
+      const std::size_t block = static_cast<std::size_t>(c) * h * w;
+      const float* src = p.data() + p.offset4(in, 0, 0, 0);
+      float* dst = y.data() + y.offset4(in, c_off, 0, 0);
+      std::copy(src, src + block, dst);
+      c_off += c;
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> split_channels(const Tensor& x, int groups) {
+  FMS_CHECK(x.ndim() == 4 && x.dim(1) % groups == 0);
+  const int n = x.dim(0), c = x.dim(1) / groups, h = x.dim(2), w = x.dim(3);
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    Tensor p({n, c, h, w});
+    for (int in = 0; in < n; ++in) {
+      const std::size_t block = static_cast<std::size_t>(c) * h * w;
+      const float* src = x.data() + x.offset4(in, g * c, 0, 0);
+      float* dst = p.data() + p.offset4(in, 0, 0, 0);
+      std::copy(src, src + block, dst);
+    }
+    parts.push_back(std::move(p));
+  }
+  return parts;
+}
+
+Tensor softmax(const Tensor& logits) {
+  FMS_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor p({n, c});
+  for (int i = 0; i < n; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < c; ++j) mx = std::max(mx, logits.at2(i, j));
+    float z = 0.0F;
+    for (int j = 0; j < c; ++j) {
+      const float e = std::exp(logits.at2(i, j) - mx);
+      p.at2(i, j) = e;
+      z += e;
+    }
+    for (int j = 0; j < c; ++j) p.at2(i, j) /= z;
+  }
+  return p;
+}
+
+CrossEntropyResult cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  FMS_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  FMS_CHECK(static_cast<int>(labels.size()) == n);
+  CrossEntropyResult res;
+  res.probs = softmax(logits);
+  res.grad_logits = Tensor({n, c});
+  double loss = 0.0;
+  int correct = 0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    FMS_CHECK(y >= 0 && y < c);
+    const float py = std::max(res.probs.at2(i, y), 1e-12F);
+    loss -= std::log(py);
+    int argmax = 0;
+    float best = res.probs.at2(i, 0);
+    for (int j = 1; j < c; ++j) {
+      if (res.probs.at2(i, j) > best) {
+        best = res.probs.at2(i, j);
+        argmax = j;
+      }
+    }
+    if (argmax == y) ++correct;
+    for (int j = 0; j < c; ++j) {
+      res.grad_logits.at2(i, j) =
+          (res.probs.at2(i, j) - (j == y ? 1.0F : 0.0F)) * inv_n;
+    }
+  }
+  res.loss = static_cast<float>(loss / n);
+  res.accuracy = static_cast<float>(correct) / static_cast<float>(n);
+  return res;
+}
+
+}  // namespace fms

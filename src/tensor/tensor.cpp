@@ -1,0 +1,18 @@
+#include "src/tensor/tensor.h"
+
+#include <sstream>
+
+namespace fms {
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace fms

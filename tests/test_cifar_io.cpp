@@ -1,0 +1,93 @@
+// Tests for the CIFAR binary loader, using synthesized files in the
+// standard format.
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "src/data/cifar_io.h"
+
+namespace fms {
+namespace {
+
+std::vector<std::uint8_t> fake_cifar10_records(int n, std::uint8_t base) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < n; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(i % 10));  // label
+    for (int p = 0; p < 3072; ++p) {
+      bytes.push_back(static_cast<std::uint8_t>((base + i + p) % 256));
+    }
+  }
+  return bytes;
+}
+
+TEST(CifarIo, ParsesCifar10Records) {
+  Dataset out(10, 3, 32, 32);
+  append_cifar_records(fake_cifar10_records(5, 0), CifarFormat{}, out);
+  EXPECT_EQ(out.size(), 5);
+  EXPECT_EQ(out.label(0), 0);
+  EXPECT_EQ(out.label(4), 4);
+  // Pixel 0 of record 0 is byte 0 -> -1.0.
+  EXPECT_FLOAT_EQ(out.image(0)[0], -1.0F);
+  // Byte 255 -> 1.0.
+  EXPECT_FLOAT_EQ(out.image(0)[255], 255.0F / 127.5F - 1.0F);
+}
+
+TEST(CifarIo, ParsesCifar100FineLabels) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(7);   // coarse label (ignored)
+  bytes.push_back(42);  // fine label
+  for (int p = 0; p < 3072; ++p) bytes.push_back(128);
+  Dataset out(100, 3, 32, 32);
+  CifarFormat fmt;
+  fmt.num_classes = 100;
+  fmt.has_coarse_label = true;
+  append_cifar_records(bytes, fmt, out);
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_EQ(out.label(0), 42);
+  EXPECT_NEAR(out.image(0)[0], 128.0F / 127.5F - 1.0F, 1e-6F);
+}
+
+TEST(CifarIo, RejectsTruncatedFile) {
+  auto bytes = fake_cifar10_records(2, 0);
+  bytes.pop_back();
+  Dataset out(10, 3, 32, 32);
+  EXPECT_THROW(append_cifar_records(bytes, CifarFormat{}, out), CheckError);
+}
+
+TEST(CifarIo, RejectsOutOfRangeLabel) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(200);  // label 200 in a 10-class file
+  for (int p = 0; p < 3072; ++p) bytes.push_back(0);
+  Dataset out(10, 3, 32, 32);
+  EXPECT_THROW(append_cifar_records(bytes, CifarFormat{}, out), CheckError);
+}
+
+TEST(CifarIo, LoadsAndConcatenatesFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string p1 = dir + "/fms_cifar_a.bin";
+  const std::string p2 = dir + "/fms_cifar_b.bin";
+  auto write = [](const std::string& path, const std::vector<std::uint8_t>& b) {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+  };
+  write(p1, fake_cifar10_records(3, 0));
+  write(p2, fake_cifar10_records(2, 50));
+  Dataset data = load_cifar({p1, p2}, CifarFormat{});
+  EXPECT_EQ(data.size(), 5);
+  EXPECT_EQ(data.height(), 32);
+  // Loaded data plugs straight into the partitioners.
+  Rng rng(1);
+  auto parts = dirichlet_partition(data.labels(), 10, 2, 0.5, rng);
+  EXPECT_EQ(parts.size(), 2u);
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+}
+
+TEST(CifarIo, MissingFileThrows) {
+  EXPECT_THROW(load_cifar({"/nonexistent/cifar.bin"}, CifarFormat{}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace fms

@@ -1,0 +1,219 @@
+// Tests for the dataset substrate: synthetic generators, partitioners
+// (i.i.d. and Dirichlet non-i.i.d.), augmentation, and shard batching.
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/data/synth.h"
+
+namespace fms {
+namespace {
+
+TEST(Synth, C10ShapesAndLabels) {
+  Rng rng(1);
+  SynthSpec spec;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  TrainTest tt = make_synth_c10(spec, rng);
+  EXPECT_EQ(tt.train.size(), 100);
+  EXPECT_EQ(tt.test.size(), 20);
+  EXPECT_EQ(tt.train.num_classes(), 10);
+  EXPECT_EQ(tt.train.channels(), 3);
+  EXPECT_EQ(tt.train.height(), 16);
+  for (int i = 0; i < tt.train.size(); ++i) {
+    EXPECT_GE(tt.train.label(i), 0);
+    EXPECT_LT(tt.train.label(i), 10);
+  }
+}
+
+TEST(Synth, C10ClassesAreBalanced) {
+  Rng rng(2);
+  SynthSpec spec;
+  spec.train_size = 200;
+  TrainTest tt = make_synth_c10(spec, rng);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < tt.train.size(); ++i) ++hist[tt.train.label(i)];
+  for (int h : hist) EXPECT_EQ(h, 20);
+}
+
+TEST(Synth, C10ClassConditionalStructure) {
+  // Same-class images should correlate more than different-class images
+  // (on average) — the generator must carry label signal.
+  Rng rng(3);
+  SynthSpec spec;
+  spec.train_size = 400;
+  spec.noise_std = 0.1F;
+  TrainTest tt = make_synth_c10(spec, rng);
+  auto corr = [&](int i, int j) {
+    auto a = tt.train.image(i);
+    auto b = tt.train.image(j);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t p = 0; p < a.size(); ++p) {
+      dot += a[p] * b[p];
+      na += a[p] * a[p];
+      nb += b[p] * b[p];
+    }
+    return std::abs(dot) / (std::sqrt(na) * std::sqrt(nb) + 1e-9);
+  };
+  double same = 0.0, diff = 0.0;
+  int same_n = 0, diff_n = 0;
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      if (tt.train.label(i) == tt.train.label(j)) {
+        same += corr(i, j);
+        ++same_n;
+      } else {
+        diff += corr(i, j);
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, diff / diff_n);
+}
+
+TEST(Synth, SvhnGeneratesAllDigits) {
+  Rng rng(4);
+  SynthSpec spec;
+  spec.train_size = 50;
+  TrainTest tt = make_synth_svhn(spec, rng);
+  std::set<int> seen;
+  for (int i = 0; i < tt.train.size(); ++i) seen.insert(tt.train.label(i));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Synth, C100Has100Classes) {
+  Rng rng(5);
+  SynthSpec spec;
+  spec.train_size = 400;
+  TrainTest tt = make_synth_c100(spec, rng);
+  EXPECT_EQ(tt.train.num_classes(), 100);
+  std::set<int> seen;
+  for (int i = 0; i < tt.train.size(); ++i) seen.insert(tt.train.label(i));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Partition, IidCoversAllIndicesOnce) {
+  Rng rng(6);
+  auto parts = iid_partition(103, 10, rng);
+  EXPECT_EQ(parts.size(), 10u);
+  std::vector<int> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  EXPECT_EQ(all.size(), 103u);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 103; ++i) EXPECT_EQ(all[i], i);
+  // Near-equal sizes.
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+  }
+}
+
+TEST(Partition, DirichletCoversAllIndicesOnce) {
+  Rng rng(7);
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) labels.push_back(i % 10);
+  auto parts = dirichlet_partition(labels, 10, 10, 0.5, rng);
+  std::vector<int> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  EXPECT_EQ(all.size(), 500u);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Partition, DirichletIsMoreSkewedThanIid) {
+  // Chi-square-style label imbalance should be much larger under
+  // Dirichlet(0.5) than under i.i.d. splitting.
+  Rng rng(8);
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) labels.push_back(i % 10);
+  auto dir_parts = dirichlet_partition(labels, 10, 10, 0.5, rng);
+  auto iid_parts = iid_partition(2000, 10, rng);
+
+  auto imbalance = [&](const std::vector<std::vector<int>>& parts) {
+    double total = 0.0;
+    for (const auto& p : parts) {
+      std::vector<int> hist(10, 0);
+      for (int idx : p) ++hist[labels[static_cast<std::size_t>(idx)]];
+      const double expected =
+          static_cast<double>(p.size()) / 10.0 + 1e-9;
+      for (int h : hist) {
+        total += (h - expected) * (h - expected) / expected;
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(imbalance(dir_parts), 5.0 * imbalance(iid_parts));
+}
+
+TEST(Partition, DirichletNoEmptyShards) {
+  Rng rng(9);
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) labels.push_back(i % 10);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto parts = dirichlet_partition(labels, 10, 20, 0.1, rng);
+    for (const auto& p : parts) EXPECT_FALSE(p.empty());
+  }
+}
+
+TEST(Shard, NextBatchShapesAndEpochCoverage) {
+  Rng rng(10);
+  SynthSpec spec;
+  spec.train_size = 40;
+  TrainTest tt = make_synth_c10(spec, rng);
+  std::vector<int> idx(40);
+  std::iota(idx.begin(), idx.end(), 0);
+  Shard shard(&tt.train, idx);
+  Rng batch_rng(11);
+  Dataset::Batch b = shard.next_batch(8, nullptr, batch_rng);
+  EXPECT_EQ(b.x.dim(0), 8);
+  EXPECT_EQ(b.x.dim(1), 3);
+  EXPECT_EQ(b.y.size(), 8u);
+  // Over 5 batches of 8 = one epoch: every index appears exactly once.
+  std::vector<int> seen;
+  Shard shard2(&tt.train, idx);
+  for (int i = 0; i < 5; ++i) {
+    Dataset::Batch bb = shard2.next_batch(8, nullptr, batch_rng);
+    (void)bb;
+  }
+  // Coverage is internal; at minimum the histogram sums correctly.
+  auto hist = shard2.label_histogram();
+  int total = 0;
+  for (int h : hist) total += h;
+  EXPECT_EQ(total, 40);
+}
+
+TEST(Augment, CutoutZeroesPixels) {
+  Rng rng(12);
+  Dataset data(2, 3, 8, 8);
+  data.add(std::vector<float>(3 * 8 * 8, 1.0F), 0);
+  AugmentConfig aug;
+  aug.cutout = 4;
+  aug.random_clip = 0;
+  aug.horizontal_flip_p = 0.0F;
+  std::vector<int> idx{0};
+  Dataset::Batch b = data.make_batch(idx, &aug, &rng);
+  int zeros = 0;
+  for (std::size_t i = 0; i < b.x.numel(); ++i) {
+    if (b.x[i] == 0.0F) ++zeros;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_LT(zeros, static_cast<int>(b.x.numel()));
+}
+
+TEST(Augment, NoAugmentationIsIdentity) {
+  Rng rng(13);
+  SynthSpec spec;
+  spec.train_size = 4;
+  TrainTest tt = make_synth_c10(spec, rng);
+  std::vector<int> idx{1};
+  Dataset::Batch b = tt.train.make_batch(idx, nullptr, nullptr);
+  auto img = tt.train.image(1);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_FLOAT_EQ(b.x[i], img[i]);
+  }
+  EXPECT_EQ(b.y[0], tt.train.label(1));
+}
+
+}  // namespace
+}  // namespace fms

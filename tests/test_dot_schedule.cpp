@@ -1,0 +1,106 @@
+// Tests for the DOT export and the learning-rate schedules.
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "src/core/retrain.h"
+#include "src/data/synth.h"
+#include "src/nas/discrete_net.h"
+#include "src/nas/dot_export.h"
+#include "src/nn/lr_schedule.h"
+
+namespace fms {
+namespace {
+
+Genotype sample_genotype() {
+  AlphaTable a(static_cast<std::size_t>(Cell::num_edges(2)));
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    a[e].fill(0.0F);
+    a[e][4 + e % 4] = 3.0F;  // a mix of conv ops
+  }
+  return discretize(a, a, 2);
+}
+
+TEST(DotExport, ContainsBothCellsAndOpLabels) {
+  Genotype g = sample_genotype();
+  const std::string dot = genotype_to_dot(g);
+  EXPECT_NE(dot.find("digraph genotype"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_normal"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_reduce"), std::string::npos);
+  EXPECT_NE(dot.find("c_{k-2}"), std::string::npos);
+  EXPECT_NE(dot.find("concat"), std::string::npos);
+  // Each of the 2*nodes edges per cell appears with its op label.
+  bool found_op = dot.find("sep_conv_3x3") != std::string::npos ||
+                  dot.find("sep_conv_5x5") != std::string::npos ||
+                  dot.find("dil_conv_3x3") != std::string::npos ||
+                  dot.find("dil_conv_5x5") != std::string::npos;
+  EXPECT_TRUE(found_op);
+}
+
+TEST(DotExport, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/fms_geno.dot";
+  write_dot_file(path, sample_genotype());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first_line;
+  std::getline(f, first_line);
+  EXPECT_NE(first_line.find("digraph"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(DotExport, RejectsMalformedGenotype) {
+  Genotype g;
+  g.nodes = 2;  // but no edges
+  EXPECT_THROW(genotype_to_dot(g), CheckError);
+}
+
+TEST(LrSchedule, ConstantIsConstant) {
+  ConstantLr s(0.1F);
+  EXPECT_FLOAT_EQ(s.lr_at(0, 100), 0.1F);
+  EXPECT_FLOAT_EQ(s.lr_at(99, 100), 0.1F);
+}
+
+TEST(LrSchedule, CosineAnnealsFromMaxToMin) {
+  CosineLr s(1.0F, 0.1F);
+  EXPECT_FLOAT_EQ(s.lr_at(0, 100), 1.0F);
+  EXPECT_NEAR(s.lr_at(50, 100), (1.0F + 0.1F) / 2.0F, 1e-5F);
+  EXPECT_NEAR(s.lr_at(100, 100), 0.1F, 1e-5F);
+  // Monotone non-increasing.
+  float prev = 2.0F;
+  for (int t = 0; t <= 100; t += 5) {
+    const float lr = s.lr_at(t, 100);
+    EXPECT_LE(lr, prev + 1e-6F);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedule, CosineClampsBeyondHorizon) {
+  CosineLr s(1.0F);
+  EXPECT_NEAR(s.lr_at(150, 100), 0.0F, 1e-6F);
+}
+
+TEST(LrSchedule, CentralizedTrainAcceptsSchedule) {
+  Rng rng(1);
+  SynthSpec spec;
+  spec.train_size = 60;
+  spec.test_size = 20;
+  spec.image_size = 8;
+  TrainTest tt = make_synth_c10(spec, rng);
+  SupernetConfig cfg;
+  cfg.num_cells = 3;
+  cfg.num_nodes = 2;
+  cfg.stem_channels = 4;
+  cfg.image_size = 8;
+  Rng net_rng(2);
+  DiscreteNet net(sample_genotype(), cfg, net_rng);
+  CosineLr schedule(0.05F);
+  Rng train_rng(3);
+  RetrainResult res =
+      centralized_train(net, tt.train, tt.test, 3, 16, SGD::Options{},
+                        nullptr, train_rng, 1, &schedule);
+  EXPECT_EQ(res.curve.size(), 3u);
+  EXPECT_GE(res.final_test_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace fms

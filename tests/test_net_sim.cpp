@@ -1,0 +1,185 @@
+// Tests for the network simulation (traces, adaptive transmission),
+// staleness distributions, device cost model, and delay compensation.
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/dc/compensation.h"
+#include "src/net/trace.h"
+#include "src/net/transmission.h"
+#include "src/sim/devices.h"
+#include "src/sim/staleness.h"
+
+namespace fms {
+namespace {
+
+TEST(Trace, StaysAboveFloorAndNearMean) {
+  for (int e = 0; e < kNumNetEnvironments; ++e) {
+    const auto env = static_cast<NetEnvironment>(e);
+    const TraceParams params = trace_params(env);
+    BandwidthTrace trace(env, Rng(17 + e));
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      const double bps = trace.next_bps();
+      EXPECT_GE(bps, params.floor_mbps * 1e6);
+      sum += bps / 1e6;
+    }
+    const double mean = sum / n;
+    // Truncation at the floor lifts the mean slightly; wide tolerance.
+    EXPECT_NEAR(mean, params.mean_mbps, params.mean_mbps * 0.35)
+        << net_environment_name(env);
+  }
+}
+
+TEST(Trace, TrainIsSlowerThanFoot) {
+  BandwidthTrace foot(NetEnvironment::kFoot, Rng(1));
+  BandwidthTrace train(NetEnvironment::kTrain, Rng(2));
+  double foot_sum = 0.0, train_sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    foot_sum += foot.next_bps();
+    train_sum += train.next_bps();
+  }
+  EXPECT_GT(foot_sum, train_sum);
+}
+
+TEST(Transmission, AdaptiveMatchesLargestToFastest) {
+  std::vector<std::size_t> sizes{100, 400, 200, 300};
+  std::vector<double> bw{1.0, 4.0, 2.0, 3.0};
+  Rng rng(3);
+  auto assign = assign_models(sizes, bw, AssignStrategy::kAdaptive, rng);
+  // Participant 1 (fastest) gets model 1 (largest), participant 0
+  // (slowest) gets model 0 (smallest).
+  EXPECT_EQ(assign[1], 1);
+  EXPECT_EQ(assign[0], 0);
+  EXPECT_EQ(assign[3], 3);
+  EXPECT_EQ(assign[2], 2);
+}
+
+TEST(Transmission, AdaptiveMinimizesMaxLatency) {
+  Rng rng(4);
+  Rng trace_rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> sizes;
+    std::vector<double> bw;
+    for (int i = 0; i < 8; ++i) {
+      sizes.push_back(static_cast<std::size_t>(trace_rng.randint(1000, 100000)));
+      bw.push_back(trace_rng.uniform(1e5F, 1e7F));
+    }
+    auto adaptive = assign_models(sizes, bw, AssignStrategy::kAdaptive, rng);
+    auto random = assign_models(sizes, bw, AssignStrategy::kRandom, rng);
+    const double la =
+        transmission_latency(sizes, bw, adaptive, false).max_seconds;
+    const double lr =
+        transmission_latency(sizes, bw, random, false).max_seconds;
+    EXPECT_LE(la, lr + 1e-12);
+  }
+}
+
+TEST(Transmission, AssignmentIsAPermutation) {
+  Rng rng(6);
+  std::vector<std::size_t> sizes{5, 1, 3, 2, 4};
+  std::vector<double> bw{1, 2, 3, 4, 5};
+  for (auto strategy : {AssignStrategy::kAdaptive, AssignStrategy::kRandom,
+                        AssignStrategy::kAverageSize}) {
+    auto assign = assign_models(sizes, bw, strategy, rng);
+    std::vector<int> sorted = assign;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Transmission, AverageSizeUsesMeanBytes) {
+  std::vector<std::size_t> sizes{0, 2000};  // mean 1000
+  std::vector<double> bw{8000.0, 8000.0};   // 1000 bytes/s
+  Rng rng(7);
+  auto assign = assign_models(sizes, bw, AssignStrategy::kAverageSize, rng);
+  LatencyStats s = transmission_latency(sizes, bw, assign, true);
+  EXPECT_NEAR(s.max_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(s.mean_seconds, 1.0, 1e-9);
+}
+
+TEST(Staleness, DistributionsNormalizeAndSample) {
+  Rng rng(8);
+  auto severe = StalenessDistribution::severe();
+  EXPECT_NEAR(severe.drop_probability(), 0.1, 1e-9);
+  EXPECT_NEAR(severe.fresh_fraction(), 0.3, 1e-9);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int tau = severe.sample(rng);
+    if (tau == kExceedsThreshold) {
+      ++counts[3];
+    } else {
+      ASSERT_LE(tau, 2);
+      ++counts[tau];
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.4, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(Staleness, NoneIsAlwaysFresh) {
+  Rng rng(9);
+  auto none = StalenessDistribution::none();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(none.sample(rng), 0);
+}
+
+TEST(Staleness, InvalidDistributionThrows) {
+  EXPECT_THROW(StalenessDistribution({0.9, 0.9}), CheckError);
+  EXPECT_THROW(StalenessDistribution({-0.1}), CheckError);
+}
+
+TEST(Devices, Tx2SlowerThan1080Ti) {
+  const double flops = training_step_flops(100000, 64, 256);
+  EXPECT_GT(compute_seconds(jetson_tx2(), flops),
+            3.0 * compute_seconds(gtx_1080ti(), flops));
+}
+
+TEST(DelayComp, WeightCompensationFormula) {
+  // Eq. 13: out = h + lambda * h*h * (fresh - stale).
+  std::vector<float> h{1.0F, -2.0F};
+  std::vector<float> fresh{3.0F, 1.0F};
+  std::vector<float> stale{1.0F, 2.0F};
+  auto out = compensate_weight_gradient(h, fresh, stale, 0.5F);
+  EXPECT_FLOAT_EQ(out[0], 1.0F + 0.5F * 1.0F * 2.0F);
+  EXPECT_FLOAT_EQ(out[1], -2.0F + 0.5F * 4.0F * -1.0F);
+}
+
+TEST(DelayComp, NoDriftMeansNoChange) {
+  std::vector<float> h{0.3F, -0.7F, 2.0F};
+  auto out = compensate_weight_gradient(h, h, h, 0.5F);
+  // fresh == stale here refers to weights; passing h for both gives zero
+  // drift, so the gradient is unchanged.
+  EXPECT_EQ(out, h);
+}
+
+TEST(DelayComp, AlphaCompensationFormula) {
+  AlphaPair g = AlphaPair::zeros(1);
+  g.normal[0][0] = 2.0F;
+  AlphaPair now = AlphaPair::zeros(1);
+  now.normal[0][0] = 1.0F;
+  AlphaPair stale = AlphaPair::zeros(1);
+  auto out = compensate_alpha_gradient(g, now, stale, 0.25F);
+  EXPECT_FLOAT_EQ(out.normal[0][0], 2.0F + 0.25F * 4.0F * 1.0F);
+}
+
+TEST(DelayComp, MemoryPoolSaveFindEvict) {
+  MemoryPool pool(2);
+  for (int r = 0; r < 5; ++r) {
+    RoundSnapshot snap;
+    snap.theta = {static_cast<float>(r)};
+    pool.save(r, std::move(snap));
+  }
+  EXPECT_EQ(pool.size(), 5u);
+  ASSERT_NE(pool.find(3), nullptr);
+  EXPECT_FLOAT_EQ(pool.find(3)->theta[0], 3.0F);
+  pool.evict(5);  // keeps rounds >= 3
+  EXPECT_EQ(pool.find(2), nullptr);
+  EXPECT_NE(pool.find(3), nullptr);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fms

@@ -1,0 +1,336 @@
+// Property-based (parameterized) test sweeps over the library's core
+// invariants: convolution gradients across the full spec space, candidate
+// op contracts, policy invariants, partition covers, serialization
+// round-trips, and delay-compensation algebra.
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "src/data/dataset.h"
+#include "src/dc/compensation.h"
+#include "src/fed/messages.h"
+#include "src/nas/supernet.h"
+#include "src/rl/policy.h"
+#include "src/tensor/ops.h"
+
+namespace fms {
+namespace {
+
+// ---------------------------------------------------------------------
+// Conv2d gradient correctness across (stride, padding, dilation, groups).
+// ---------------------------------------------------------------------
+using ConvParams = std::tuple<int, int, int, int>;  // stride, pad, dil, groups
+
+class ConvGradProperty : public ::testing::TestWithParam<ConvParams> {};
+
+TEST_P(ConvGradProperty, MatchesFiniteDifference) {
+  const auto [stride, pad, dil, groups] = GetParam();
+  Conv2dSpec spec{stride, pad, dil, groups};
+  const int cin = 2 * groups, cout = 2 * groups, k = 3, hw = 7;
+  Rng rng(1234 + stride * 7 + pad * 11 + dil * 13 + groups * 17);
+  Tensor x = Tensor::randn({1, cin, hw, hw}, rng);
+  Tensor w = Tensor::randn({cout, cin / groups, k, k}, rng, 0.5F);
+  Tensor y = conv2d_forward(x, w, spec);
+  Tensor gy = Tensor::randn(y.shape(), rng);
+  Conv2dGrads grads = conv2d_backward(x, w, gy, spec);
+  auto objective = [&](const Tensor& xx, const Tensor& ww) {
+    Tensor yy = conv2d_forward(xx, ww, spec);
+    double s = 0.0;
+    for (std::size_t i = 0; i < yy.numel(); ++i) s += yy[i] * gy[i];
+    return s;
+  };
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t xi = (i * 37) % x.numel();
+    Tensor xp = x, xm = x;
+    xp[xi] += eps;
+    xm[xi] -= eps;
+    EXPECT_NEAR(grads.grad_x[xi],
+                (objective(xp, w) - objective(xm, w)) / (2.0 * eps), 5e-2);
+    const std::size_t wi = (i * 29) % w.numel();
+    Tensor wp = w, wm = w;
+    wp[wi] += eps;
+    wm[wi] -= eps;
+    EXPECT_NEAR(grads.grad_w[wi],
+                (objective(x, wp) - objective(x, wm)) / (2.0 * eps), 5e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecSweep, ConvGradProperty,
+    ::testing::Values(ConvParams{1, 0, 1, 1}, ConvParams{1, 1, 1, 1},
+                      ConvParams{2, 1, 1, 1}, ConvParams{1, 2, 2, 1},
+                      ConvParams{2, 2, 2, 1}, ConvParams{1, 1, 1, 2},
+                      ConvParams{2, 1, 1, 2}, ConvParams{1, 2, 2, 2}));
+
+// ---------------------------------------------------------------------
+// Candidate op contracts: shape, gradient shape, and gradient flow for
+// every (op, stride) combination.
+// ---------------------------------------------------------------------
+using OpParams = std::tuple<int, int>;  // op index, stride
+
+class CandidateOpProperty : public ::testing::TestWithParam<OpParams> {};
+
+TEST_P(CandidateOpProperty, ShapeAndGradContract) {
+  const auto [op_idx, stride] = GetParam();
+  Rng rng(77 + op_idx * 3 + stride);
+  const int c = 4, hw = 8;
+  auto op = make_candidate_op(static_cast<OpType>(op_idx), c, stride, rng);
+  Tensor x = Tensor::randn({2, c, hw, hw}, rng);
+  Tensor y = op->forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), c);
+  EXPECT_EQ(y.dim(2), hw / stride);
+  EXPECT_EQ(y.dim(3), hw / stride);
+  Tensor gy = Tensor::randn(y.shape(), rng);
+  Tensor gx = op->backward(gy);
+  EXPECT_EQ(gx.shape(), x.shape());
+  if (static_cast<OpType>(op_idx) == OpType::kZero) {
+    EXPECT_FLOAT_EQ(gx.l2_norm(), 0.0F);  // zero op blocks gradient
+  } else {
+    EXPECT_GT(gx.l2_norm(), 0.0F);  // every other op passes gradient
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsTimesStrides, CandidateOpProperty,
+    ::testing::Combine(::testing::Range(0, kNumOps),
+                       ::testing::Values(1, 2)));
+
+// ---------------------------------------------------------------------
+// Composite module gradient checks: every DARTS building block must
+// backpropagate correctly through its full stack (conv+BN+ReLU chains).
+// ---------------------------------------------------------------------
+using CompositeParams = std::tuple<int, int>;  // factory index, channels
+
+class CompositeGradProperty
+    : public ::testing::TestWithParam<CompositeParams> {};
+
+TEST_P(CompositeGradProperty, InputGradMatchesFiniteDifference) {
+  const auto [factory, channels] = GetParam();
+  Rng rng(4242 + factory * 3 + channels);
+  std::unique_ptr<Module> m;
+  switch (factory) {
+    case 0: m = make_relu_conv_bn(channels, channels, 1, 1, 0, rng); break;
+    case 1: m = make_sep_conv(channels, 3, 1, rng); break;
+    case 2: m = make_sep_conv(channels, 5, 1, rng); break;
+    case 3: m = make_dil_conv(channels, 3, 1, rng); break;
+    case 4: m = make_dil_conv(channels, 5, 1, rng); break;
+    case 5: m = make_factorized_reduce(channels, channels, rng); break;
+    default: FAIL();
+  }
+  Tensor x = Tensor::randn({2, channels, 6, 6}, rng);
+  // Every factory starts with a ReLU; keep inputs away from the kink at 0
+  // so the central finite difference does not straddle it.
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05F) x[i] = x[i] >= 0.0F ? 0.05F : -0.05F;
+  }
+  Tensor y = m->forward(x, true);
+  Tensor gy = Tensor::randn(y.shape(), rng);
+  m->zero_grad();
+  Tensor gx = m->backward(gy);
+  ASSERT_EQ(gx.shape(), x.shape());
+  auto objective = [&](const Tensor& xx) {
+    Tensor yy = m->forward(xx, true);
+    double s = 0.0;
+    for (std::size_t i = 0; i < yy.numel(); ++i) s += yy[i] * gy[i];
+    return s;
+  };
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t xi = (i * 41) % x.numel();
+    Tensor xp = x, xm = x;
+    xp[xi] += eps;
+    xm[xi] -= eps;
+    EXPECT_NEAR(gx[xi], (objective(xp) - objective(xm)) / (2.0 * eps), 8e-2)
+        << "factory " << factory << " input " << xi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FactorySweep, CompositeGradProperty,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(2, 4)));
+
+// ---------------------------------------------------------------------
+// Policy invariants across seeds and edge counts.
+// ---------------------------------------------------------------------
+using PolicyParams = std::tuple<int, int>;  // num_edges, seed
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyParams> {};
+
+TEST_P(PolicyProperty, SampledMasksAreValidAndGradRowsSumZero) {
+  const auto [edges, seed] = GetParam();
+  AlphaOptConfig cfg;
+  ArchPolicy policy(edges, cfg);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  AlphaPair a = AlphaPair::zeros(edges);
+  for (auto& row : a.normal)
+    for (auto& v : row) v = rng.normal(0.0F, 2.0F);
+  for (auto& row : a.reduce)
+    for (auto& v : row) v = rng.normal(0.0F, 2.0F);
+  policy.set_alpha(a);
+  for (int trial = 0; trial < 10; ++trial) {
+    Mask m = policy.sample(rng);
+    ASSERT_EQ(m.normal.size(), static_cast<std::size_t>(edges));
+    for (int op : m.normal) {
+      EXPECT_GE(op, 0);
+      EXPECT_LT(op, kNumOps);
+    }
+    // log p(g) <= 0 always.
+    EXPECT_LE(policy.log_prob(m), 1e-9);
+    AlphaPair g = policy.log_prob_grad(m);
+    for (const auto& row : g.normal) {
+      float sum = 0.0F;
+      for (float v : row) sum += v;
+      EXPECT_NEAR(sum, 0.0F, 1e-5F);
+    }
+    for (const auto& row : g.reduce) {
+      float sum = 0.0F;
+      for (float v : row) sum += v;
+      EXPECT_NEAR(sum, 0.0F, 1e-5F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeAndSeedSweep, PolicyProperty,
+                         ::testing::Combine(::testing::Values(2, 5, 9, 14),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Partition cover property across (n, k, beta).
+// ---------------------------------------------------------------------
+using PartitionParams = std::tuple<int, int, double>;
+
+class PartitionProperty : public ::testing::TestWithParam<PartitionParams> {};
+
+TEST_P(PartitionProperty, DirichletPartitionIsExactCover) {
+  const auto [n, k, beta] = GetParam();
+  Rng rng(9000 + static_cast<std::uint64_t>(n + k));
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) labels.push_back(i % 10);
+  auto parts = dirichlet_partition(labels, 10, k, beta, rng);
+  ASSERT_EQ(parts.size(), static_cast<std::size_t>(k));
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  for (const auto& p : parts) {
+    EXPECT_FALSE(p.empty());
+    for (int idx : p) {
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, n);
+      ++seen[static_cast<std::size_t>(idx)];
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);  // each index exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, PartitionProperty,
+    ::testing::Values(PartitionParams{200, 5, 0.5},
+                      PartitionParams{500, 10, 0.5},
+                      PartitionParams{500, 10, 0.1},
+                      PartitionParams{1000, 20, 0.5},
+                      PartitionParams{1000, 50, 1.0}));
+
+// ---------------------------------------------------------------------
+// Message serialization round-trip across random payload sizes.
+// ---------------------------------------------------------------------
+class MessageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageProperty, RoundTripPreservesEverything) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  SubmodelMsg msg;
+  msg.round = rng.randint(0, 10000);
+  const int edges = rng.randint(1, 20);
+  for (int e = 0; e < edges; ++e) {
+    msg.mask.normal.push_back(rng.randint(0, kNumOps - 1));
+    msg.mask.reduce.push_back(rng.randint(0, kNumOps - 1));
+  }
+  const int vals = rng.randint(0, 5000);
+  for (int i = 0; i < vals; ++i) msg.values.push_back(rng.normal());
+  SubmodelMsg back = SubmodelMsg::deserialize(msg.serialize());
+  EXPECT_EQ(back.round, msg.round);
+  EXPECT_EQ(back.mask.normal, msg.mask.normal);
+  EXPECT_EQ(back.mask.reduce, msg.mask.reduce);
+  EXPECT_EQ(back.values, msg.values);
+
+  UpdateMsg upd;
+  upd.round = msg.round;
+  upd.participant = rng.randint(0, 100);
+  upd.reward = rng.uniform();
+  upd.loss = rng.uniform(0.0F, 10.0F);
+  upd.mask = msg.mask;
+  upd.grads = msg.values;
+  UpdateMsg uback = UpdateMsg::deserialize(upd.serialize());
+  EXPECT_EQ(uback.participant, upd.participant);
+  EXPECT_EQ(uback.grads, upd.grads);
+  EXPECT_FLOAT_EQ(uback.reward, upd.reward);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, MessageProperty,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------
+// Delay-compensation algebra across lambda values.
+// ---------------------------------------------------------------------
+class CompensationProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(CompensationProperty, LambdaZeroIsIdentityAndDriftScalesCorrection) {
+  const float lambda = GetParam();
+  Rng rng(555);
+  std::vector<float> h, fresh, stale;
+  for (int i = 0; i < 64; ++i) {
+    h.push_back(rng.normal());
+    stale.push_back(rng.normal());
+    fresh.push_back(stale.back() + rng.normal(0.0F, 0.1F));
+  }
+  auto out = compensate_weight_gradient(h, fresh, stale, lambda);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const float expected = h[i] + lambda * h[i] * h[i] * (fresh[i] - stale[i]);
+    EXPECT_FLOAT_EQ(out[i], expected);
+    if (lambda == 0.0F) {
+      EXPECT_FLOAT_EQ(out[i], h[i]);
+    }
+  }
+  // No drift => no change, regardless of lambda.
+  auto same = compensate_weight_gradient(h, stale, stale, lambda);
+  EXPECT_EQ(same, h);
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaSweep, CompensationProperty,
+                         ::testing::Values(0.0F, 0.1F, 0.5F, 1.0F, 2.0F));
+
+// ---------------------------------------------------------------------
+// Supernet mask/payload invariants across node counts.
+// ---------------------------------------------------------------------
+class SupernetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SupernetProperty, MaskedSubsetInvariants) {
+  const int nodes = GetParam();
+  SupernetConfig cfg;
+  cfg.num_cells = 3;
+  cfg.num_nodes = nodes;
+  cfg.stem_channels = 4;
+  cfg.image_size = 8;
+  Rng rng(31 + static_cast<std::uint64_t>(nodes));
+  Supernet net(cfg, rng);
+  const std::size_t total = net.param_count();
+  for (int trial = 0; trial < 5; ++trial) {
+    Mask m = random_mask(net.num_edges(), rng);
+    auto ids = net.masked_param_ids(m);
+    // ids are sorted unique indices into the param list.
+    for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+    EXPECT_LT(ids.back(), net.params().size());
+    const std::size_t sub = net.param_count_masked(m);
+    EXPECT_LT(sub, total);
+    EXPECT_GT(sub, 0u);
+    // Gather/scatter round-trip over this subset.
+    auto vals = net.gather_values(ids);
+    EXPECT_EQ(vals.size(), sub);
+    net.scatter_values(ids, vals);
+    EXPECT_EQ(net.gather_values(ids), vals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSweep, SupernetProperty,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace fms

@@ -1,0 +1,213 @@
+// Integration tests: the full federated search pipeline end to end on a
+// tiny synthetic workload — warm-up, search, staleness policies, adaptive
+// transmission accounting, and genotype derivation + retraining.
+#include "gtest/gtest.h"
+#include "src/core/retrain.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/nas/discrete_net.h"
+
+namespace fms {
+namespace {
+
+SearchConfig tiny_config() {
+  SearchConfig cfg;
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 4;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 8;
+  cfg.schedule.num_participants = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TrainTest tiny_data(Rng& rng) {
+  SynthSpec spec;
+  spec.train_size = 160;
+  spec.test_size = 40;
+  spec.image_size = 8;
+  return make_synth_c10(spec, rng);
+}
+
+TEST(SearchIntegration, WarmupImprovesTrainingAccuracy) {
+  // Weight-shared warm-up is slow by nature (each op is sampled w.p. 1/N
+  // per edge — the paper uses 10000 warm-up steps), so give the test an
+  // easy low-noise task and a bigger batch so the learning signal
+  // dominates sampling noise within a short horizon.
+  Rng rng(1);
+  SynthSpec spec;
+  spec.train_size = 160;
+  spec.test_size = 40;
+  spec.image_size = 8;
+  spec.noise_std = 0.05F;
+  TrainTest tt = make_synth_c10(spec, rng);
+  SearchConfig cfg = tiny_config();
+  cfg.schedule.batch_size = 16;
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  auto records = search.run_warmup(150);
+  ASSERT_EQ(records.size(), 150u);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 20; ++i) early += records[static_cast<std::size_t>(i)].mean_reward;
+  for (int i = 130; i < 150; ++i) late += records[static_cast<std::size_t>(i)].mean_reward;
+  EXPECT_GT(late / 20.0, early / 20.0 + 0.02);
+}
+
+TEST(SearchIntegration, SearchRunsAndDerivesGenotype) {
+  Rng rng(2);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  search.run_warmup(10);
+  SearchOptions opts;
+  auto records = search.run_search(20, opts);
+  ASSERT_EQ(records.size(), 20u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.arrived, 4);  // hard sync: all updates arrive fresh
+    EXPECT_EQ(r.dropped, 0);
+    EXPECT_GT(r.bytes_down, 0u);
+    EXPECT_GT(r.bytes_up, 0u);
+  }
+  Genotype g = search.derive();
+  EXPECT_EQ(g.normal.size(), static_cast<std::size_t>(2 * cfg.supernet.num_nodes));
+  // The alpha must have moved away from exact uniformity.
+  EXPECT_GT(search.policy().alpha().l2_norm(), 0.0F);
+}
+
+TEST(SearchIntegration, SubmodelPayloadIsFractionOfSupernet) {
+  Rng rng(3);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  search.run_warmup(3);
+  EXPECT_GT(search.avg_submodel_bytes(), 0.0);
+  EXPECT_LT(search.avg_submodel_bytes(),
+            0.5 * static_cast<double>(search.supernet_bytes()));
+}
+
+TEST(SearchIntegration, SoftSyncPoliciesRunAndAccountArrivals) {
+  Rng rng(4);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+
+  for (StalePolicy policy :
+       {StalePolicy::kCompensate, StalePolicy::kUseStale, StalePolicy::kDrop}) {
+    FederatedSearch search(cfg, tt.train, parts);
+    search.run_warmup(5);
+    SearchOptions opts;
+    opts.stale_policy = policy;
+    opts.staleness = StalenessDistribution::severe();
+    auto records = search.run_search(25, opts);
+    int arrived = 0, dropped = 0;
+    for (const auto& r : records) {
+      arrived += r.arrived;
+      dropped += r.dropped;
+    }
+    // ~10% of updates exceed the threshold under the severe distribution;
+    // kDrop additionally discards every stale arrival.
+    EXPECT_GT(dropped, 0) << stale_policy_name(policy);
+    EXPECT_GT(arrived, 0) << stale_policy_name(policy);
+    if (policy == StalePolicy::kDrop) {
+      EXPECT_LT(arrived, 25 * 4 / 2) << "drop should lose most updates";
+    }
+    // Search must still produce a usable genotype.
+    Genotype g = search.derive();
+    EXPECT_EQ(g.normal.size(), 4u);
+  }
+}
+
+TEST(SearchIntegration, AlphaOnlyUpdateOptionFreezesTheta) {
+  Rng rng(5);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  std::vector<float> before = search.supernet().flat_values();
+  SearchOptions opts;
+  opts.update_theta = false;
+  search.run_search(3, opts);
+  std::vector<float> after = search.supernet().flat_values();
+  // BatchNorm running stats are not parameters; values must be identical.
+  EXPECT_EQ(before, after);
+}
+
+TEST(SearchIntegration, AdaptiveBeatsRandomOnMaxLatency) {
+  Rng rng(6);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  cfg.schedule.num_participants = 6;
+  auto parts = iid_partition(tt.train.size(), 6, rng);
+
+  auto run_with = [&](AssignStrategy s) {
+    SearchConfig c = cfg;
+    FederatedSearch search(c, tt.train, parts);
+    SearchOptions opts;
+    opts.assign = s;
+    auto records = search.run_search(12, opts);
+    double sum = 0.0;
+    for (const auto& r : records) sum += r.max_latency_s;
+    return sum / static_cast<double>(records.size());
+  };
+  const double adaptive = run_with(AssignStrategy::kAdaptive);
+  const double random = run_with(AssignStrategy::kRandom);
+  EXPECT_LT(adaptive, random * 1.05);  // adaptive at least matches random
+}
+
+TEST(SearchIntegration, DerivedModelTrainsCentralized) {
+  Rng rng(7);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  search.run_warmup(5);
+  search.run_search(10, SearchOptions{});
+  Genotype g = search.derive();
+  Rng net_rng(8);
+  DiscreteNet net(g, cfg.supernet, net_rng);
+  SGD::Options opts{0.05F, 0.9F, 0.0003F, 5.0F};
+  Rng train_rng(9);
+  RetrainResult res = centralized_train(net, tt.train, tt.test, 3, 16, opts,
+                                        nullptr, train_rng, 1);
+  EXPECT_EQ(res.curve.size(), 3u);
+  // Better than random guessing on a 10-class problem.
+  EXPECT_GT(res.final_test_accuracy, 0.15);
+}
+
+TEST(SearchIntegration, FederatedRetrainingConverges) {
+  Rng rng(10);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), 4, rng);
+  AlphaTable a(static_cast<std::size_t>(Cell::num_edges(2)));
+  for (auto& row : a) row.fill(0.0F);
+  Genotype g = discretize(a, a, 2);
+  Rng net_rng(11);
+  DiscreteNet net(g, cfg.supernet, net_rng);
+  SGD::Options opts{0.1F, 0.5F, 0.005F, 5.0F};
+  Rng train_rng(12);
+  RetrainResult res = federated_train(net, tt.train, parts, tt.test, 40, 8,
+                                      opts, nullptr, train_rng, 10);
+  EXPECT_EQ(res.curve.size(), 40u);
+  EXPECT_GT(res.final_test_accuracy, 0.15);
+}
+
+TEST(SearchIntegration, DeterministicGivenSeed) {
+  Rng rng(13);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  auto run = [&] {
+    FederatedSearch search(cfg, tt.train, parts);
+    search.run_warmup(3);
+    auto recs = search.run_search(5, SearchOptions{});
+    return recs.back().mean_reward;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fms
