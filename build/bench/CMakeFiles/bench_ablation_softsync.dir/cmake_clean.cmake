@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_softsync.dir/bench_ablation_softsync.cpp.o"
+  "CMakeFiles/bench_ablation_softsync.dir/bench_ablation_softsync.cpp.o.d"
+  "bench_ablation_softsync"
+  "bench_ablation_softsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_softsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rounds_svhn.dir/bench_fig10_rounds_svhn.cpp.o"
+  "CMakeFiles/bench_fig10_rounds_svhn.dir/bench_fig10_rounds_svhn.cpp.o.d"
+  "bench_fig10_rounds_svhn"
+  "bench_fig10_rounds_svhn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rounds_svhn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_participants.dir/bench_fig12_participants.cpp.o"
+  "CMakeFiles/bench_fig12_participants.dir/bench_fig12_participants.cpp.o.d"
+  "bench_fig12_participants"
+  "bench_fig12_participants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_participants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

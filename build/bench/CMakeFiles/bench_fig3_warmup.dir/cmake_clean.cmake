@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_warmup.dir/bench_fig3_warmup.cpp.o"
+  "CMakeFiles/bench_fig3_warmup.dir/bench_fig3_warmup.cpp.o.d"
+  "bench_fig3_warmup"
+  "bench_fig3_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

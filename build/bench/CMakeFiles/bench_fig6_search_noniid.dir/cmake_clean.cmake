@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_search_noniid.dir/bench_fig6_search_noniid.cpp.o"
+  "CMakeFiles/bench_fig6_search_noniid.dir/bench_fig6_search_noniid.cpp.o.d"
+  "bench_fig6_search_noniid"
+  "bench_fig6_search_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_search_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

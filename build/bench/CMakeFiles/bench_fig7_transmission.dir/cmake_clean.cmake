@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_transmission.dir/bench_fig7_transmission.cpp.o"
+  "CMakeFiles/bench_fig7_transmission.dir/bench_fig7_transmission.cpp.o.d"
+  "bench_fig7_transmission"
+  "bench_fig7_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_staleness.dir/bench_fig8_staleness.cpp.o"
+  "CMakeFiles/bench_fig8_staleness.dir/bench_fig8_staleness.cpp.o.d"
+  "bench_fig8_staleness"
+  "bench_fig8_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_centralized.dir/bench_table2_centralized.cpp.o"
+  "CMakeFiles/bench_table2_centralized.dir/bench_table2_centralized.cpp.o.d"
+  "bench_table2_centralized"
+  "bench_table2_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_federated.dir/bench_table3_federated.cpp.o"
+  "CMakeFiles/bench_table3_federated.dir/bench_table3_federated.cpp.o.d"
+  "bench_table3_federated"
+  "bench_table3_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_searchtime.dir/bench_table5_searchtime.cpp.o"
+  "CMakeFiles/bench_table5_searchtime.dir/bench_table5_searchtime.cpp.o.d"
+  "bench_table5_searchtime"
+  "bench_table5_searchtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_searchtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

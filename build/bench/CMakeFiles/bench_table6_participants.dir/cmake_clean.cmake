@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_participants.dir/bench_table6_participants.cpp.o"
+  "CMakeFiles/bench_table6_participants.dir/bench_table6_participants.cpp.o.d"
+  "bench_table6_participants"
+  "bench_table6_participants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_participants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_transfer_iid.dir/bench_table7_transfer_iid.cpp.o"
+  "CMakeFiles/bench_table7_transfer_iid.dir/bench_table7_transfer_iid.cpp.o.d"
+  "bench_table7_transfer_iid"
+  "bench_table7_transfer_iid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_transfer_iid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fms_search_cli.dir/fms_search_cli.cpp.o"
+  "CMakeFiles/fms_search_cli.dir/fms_search_cli.cpp.o.d"
+  "fms_search_cli"
+  "fms_search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fms_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

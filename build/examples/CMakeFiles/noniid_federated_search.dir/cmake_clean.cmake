@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noniid_federated_search.dir/noniid_federated_search.cpp.o"
+  "CMakeFiles/noniid_federated_search.dir/noniid_federated_search.cpp.o.d"
+  "noniid_federated_search"
+  "noniid_federated_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noniid_federated_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stale_network_search.dir/stale_network_search.cpp.o"
+  "CMakeFiles/stale_network_search.dir/stale_network_search.cpp.o.d"
+  "stale_network_search"
+  "stale_network_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stale_network_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_search.dir/transfer_search.cpp.o"
+  "CMakeFiles/transfer_search.dir/transfer_search.cpp.o.d"
+  "transfer_search"
+  "transfer_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/enas.cpp" "src/CMakeFiles/fms.dir/baselines/enas.cpp.o" "gcc" "src/CMakeFiles/fms.dir/baselines/enas.cpp.o.d"
+  "/root/repo/src/baselines/evofednas.cpp" "src/CMakeFiles/fms.dir/baselines/evofednas.cpp.o" "gcc" "src/CMakeFiles/fms.dir/baselines/evofednas.cpp.o.d"
+  "/root/repo/src/baselines/gradient_nas.cpp" "src/CMakeFiles/fms.dir/baselines/gradient_nas.cpp.o" "gcc" "src/CMakeFiles/fms.dir/baselines/gradient_nas.cpp.o.d"
+  "/root/repo/src/baselines/resnet_style.cpp" "src/CMakeFiles/fms.dir/baselines/resnet_style.cpp.o" "gcc" "src/CMakeFiles/fms.dir/baselines/resnet_style.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/fms.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/fms.dir/common/config.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/fms.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/fms.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/retrain.cpp" "src/CMakeFiles/fms.dir/core/retrain.cpp.o" "gcc" "src/CMakeFiles/fms.dir/core/retrain.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/fms.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/fms.dir/core/search.cpp.o.d"
+  "/root/repo/src/data/cifar_io.cpp" "src/CMakeFiles/fms.dir/data/cifar_io.cpp.o" "gcc" "src/CMakeFiles/fms.dir/data/cifar_io.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fms.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fms.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synth.cpp" "src/CMakeFiles/fms.dir/data/synth.cpp.o" "gcc" "src/CMakeFiles/fms.dir/data/synth.cpp.o.d"
+  "/root/repo/src/dc/compensation.cpp" "src/CMakeFiles/fms.dir/dc/compensation.cpp.o" "gcc" "src/CMakeFiles/fms.dir/dc/compensation.cpp.o.d"
+  "/root/repo/src/fed/compression.cpp" "src/CMakeFiles/fms.dir/fed/compression.cpp.o" "gcc" "src/CMakeFiles/fms.dir/fed/compression.cpp.o.d"
+  "/root/repo/src/fed/messages.cpp" "src/CMakeFiles/fms.dir/fed/messages.cpp.o" "gcc" "src/CMakeFiles/fms.dir/fed/messages.cpp.o.d"
+  "/root/repo/src/fed/participant.cpp" "src/CMakeFiles/fms.dir/fed/participant.cpp.o" "gcc" "src/CMakeFiles/fms.dir/fed/participant.cpp.o.d"
+  "/root/repo/src/nas/cell.cpp" "src/CMakeFiles/fms.dir/nas/cell.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/cell.cpp.o.d"
+  "/root/repo/src/nas/discrete_net.cpp" "src/CMakeFiles/fms.dir/nas/discrete_net.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/discrete_net.cpp.o.d"
+  "/root/repo/src/nas/dot_export.cpp" "src/CMakeFiles/fms.dir/nas/dot_export.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/dot_export.cpp.o.d"
+  "/root/repo/src/nas/flops.cpp" "src/CMakeFiles/fms.dir/nas/flops.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/flops.cpp.o.d"
+  "/root/repo/src/nas/genotype.cpp" "src/CMakeFiles/fms.dir/nas/genotype.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/genotype.cpp.o.d"
+  "/root/repo/src/nas/ops.cpp" "src/CMakeFiles/fms.dir/nas/ops.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/ops.cpp.o.d"
+  "/root/repo/src/nas/supernet.cpp" "src/CMakeFiles/fms.dir/nas/supernet.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nas/supernet.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/fms.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/fms.dir/net/trace.cpp.o.d"
+  "/root/repo/src/net/transmission.cpp" "src/CMakeFiles/fms.dir/net/transmission.cpp.o" "gcc" "src/CMakeFiles/fms.dir/net/transmission.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/fms.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/fms.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/fms.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/fms.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/CMakeFiles/fms.dir/rl/policy.cpp.o" "gcc" "src/CMakeFiles/fms.dir/rl/policy.cpp.o.d"
+  "/root/repo/src/sim/round_time.cpp" "src/CMakeFiles/fms.dir/sim/round_time.cpp.o" "gcc" "src/CMakeFiles/fms.dir/sim/round_time.cpp.o.d"
+  "/root/repo/src/sim/staleness.cpp" "src/CMakeFiles/fms.dir/sim/staleness.cpp.o" "gcc" "src/CMakeFiles/fms.dir/sim/staleness.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fms.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fms.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fms.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fms.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fms.
+# This may be replaced when dependencies are built.

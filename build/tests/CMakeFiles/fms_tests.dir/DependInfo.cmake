@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cifar_io.cpp" "tests/CMakeFiles/fms_tests.dir/test_cifar_io.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_cifar_io.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/fms_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compression.cpp" "tests/CMakeFiles/fms_tests.dir/test_compression.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_compression.cpp.o.d"
+  "/root/repo/tests/test_core_edge.cpp" "tests/CMakeFiles/fms_tests.dir/test_core_edge.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_core_edge.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/fms_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_dot_schedule.cpp" "tests/CMakeFiles/fms_tests.dir/test_dot_schedule.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_dot_schedule.cpp.o.d"
+  "/root/repo/tests/test_fed_baselines.cpp" "tests/CMakeFiles/fms_tests.dir/test_fed_baselines.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_fed_baselines.cpp.o.d"
+  "/root/repo/tests/test_flops_checkpoint.cpp" "tests/CMakeFiles/fms_tests.dir/test_flops_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_flops_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_mixed_mode.cpp" "tests/CMakeFiles/fms_tests.dir/test_mixed_mode.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_mixed_mode.cpp.o.d"
+  "/root/repo/tests/test_nas.cpp" "tests/CMakeFiles/fms_tests.dir/test_nas.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_nas.cpp.o.d"
+  "/root/repo/tests/test_net_sim.cpp" "tests/CMakeFiles/fms_tests.dir/test_net_sim.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_net_sim.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/fms_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/fms_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rl.cpp" "tests/CMakeFiles/fms_tests.dir/test_rl.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_rl.cpp.o.d"
+  "/root/repo/tests/test_search_integration.cpp" "tests/CMakeFiles/fms_tests.dir/test_search_integration.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_search_integration.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/fms_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/fms_tests.dir/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
