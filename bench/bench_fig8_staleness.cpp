@@ -6,12 +6,22 @@
 // All four runs share the same warmed-up supernet state by construction
 // (same seed and warm-up schedule), matching the paper's setup.
 #include "bench/bench_common.h"
+#include "src/obs/telemetry.h"
 
 int main() {
   using namespace fms;
   SearchConfig cfg = bench::bench_search_config();
   const int warmup = bench::scaled(120);
   const int steps = bench::scaled(170);
+
+  // All four variants stream into one labeled JSONL trace; the metrics CSV
+  // snapshot (staleness tau histogram, compensated-update counters, span
+  // timings) lands next to the bench's own CSV.
+  TelemetryConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.trace_jsonl_path = "fms_fig8_staleness_trace.jsonl";
+  tcfg.metrics_csv_path = "fms_fig8_staleness_metrics.csv";
+  obs::Telemetry::instance().configure(tcfg);
 
   struct Variant {
     const char* name;
@@ -27,6 +37,7 @@ int main() {
 
   std::vector<std::vector<RoundRecord>> curves;
   for (const auto& v : variants) {
+    obs::Telemetry::instance().set_label(v.name);
     bench::Workload w = bench::make_workload_c10(10, bench::Dist::kIid);
     FederatedSearch search(cfg, w.data.train, w.partition);
     search.run_warmup(warmup);
@@ -49,6 +60,7 @@ int main() {
   }
   s.print(std::cout, std::max<std::size_t>(1, static_cast<std::size_t>(steps) / 25));
   s.write_csv("fms_fig8_staleness.csv");
+  obs::Telemetry::instance().finish();
 
   std::printf("\nfinal moving averages:\n");
   for (std::size_t v = 0; v < variants.size(); ++v) {

@@ -6,6 +6,7 @@
 //                  [--noniid] [--staleness none|severe|slight]
 //                  [--policy compensate|use|throw]
 //                  [--checkpoint PATH] [--genotype-out PATH] [--seed N]
+//                  [--trace-jsonl PATH] [--metrics-csv PATH]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +17,7 @@
 #include "src/data/synth.h"
 #include "src/nas/discrete_net.h"
 #include "src/nas/dot_export.h"
+#include "src/obs/telemetry.h"
 
 namespace {
 
@@ -24,7 +26,9 @@ const char* kUsage =
     "                      [--noniid] [--staleness none|severe|slight]\n"
     "                      [--policy compensate|use|throw]\n"
     "                      [--checkpoint PATH] [--genotype-out PATH]\n"
-    "                      [--dot-out PATH] [--seed N]\n";
+    "                      [--dot-out PATH] [--seed N]\n"
+    "                      [--trace-jsonl PATH] [--metrics-csv PATH]\n"
+    "                      [--progress-every N]\n";
 
 }  // namespace
 
@@ -39,6 +43,9 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string genotype_out;
   std::string dot_out;
+  std::string trace_jsonl;
+  std::string metrics_csv;
+  int progress_every = 25;
   std::uint64_t seed = 42;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +74,12 @@ int main(int argc, char** argv) {
       genotype_out = need_value("--genotype-out");
     } else if (!std::strcmp(argv[i], "--dot-out")) {
       dot_out = need_value("--dot-out");
+    } else if (!std::strcmp(argv[i], "--trace-jsonl")) {
+      trace_jsonl = need_value("--trace-jsonl");
+    } else if (!std::strcmp(argv[i], "--metrics-csv")) {
+      metrics_csv = need_value("--metrics-csv");
+    } else if (!std::strcmp(argv[i], "--progress-every")) {
+      progress_every = std::atoi(need_value("--progress-every"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -101,6 +114,13 @@ int main(int argc, char** argv) {
   cfg.schedule.batch_size = 16;
   cfg.schedule.num_participants = participants;
   cfg.seed = seed;
+  // Telemetry: console progress always on (replacing the old on_round
+  // lambda); JSONL trace and metrics CSV snapshot when requested.
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.console = true;
+  cfg.telemetry.console_every = progress_every;
+  cfg.telemetry.trace_jsonl_path = trace_jsonl;
+  cfg.telemetry.metrics_csv_path = metrics_csv;
 
   SearchOptions opts;
   if (staleness == "severe") {
@@ -127,12 +147,6 @@ int main(int argc, char** argv) {
   }
 
   FederatedSearch search(cfg, data.train, partition);
-  search.on_round = [](const RoundRecord& r) {
-    if (r.round % 25 == 0) {
-      std::printf("round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d\n",
-                  r.round, r.mean_reward, r.moving_avg, r.arrived, r.dropped);
-    }
-  };
   std::printf("warm-up: %d rounds, search: %d rounds, K=%d, %s, "
               "staleness=%s/%s\n",
               warmup, rounds, participants, noniid ? "non-iid" : "iid",
@@ -161,6 +175,13 @@ int main(int argc, char** argv) {
   if (!dot_out.empty()) {
     write_dot_file(dot_out, genotype);
     std::printf("graphviz cell diagram written to %s\n", dot_out.c_str());
+  }
+  obs::Telemetry::instance().finish();  // flush trace, write metrics CSV
+  if (!trace_jsonl.empty()) {
+    std::printf("telemetry trace written to %s\n", trace_jsonl.c_str());
+  }
+  if (!metrics_csv.empty()) {
+    std::printf("metrics snapshot written to %s\n", metrics_csv.c_str());
   }
   return 0;
 }

@@ -38,6 +38,9 @@ int main() {
   cfg.supernet.stem_channels = 6;
   cfg.supernet.image_size = 8;
   cfg.schedule.batch_size = 16;
+  cfg.telemetry.enabled = true;  // per-round progress via the console sink
+  cfg.telemetry.console = true;
+  cfg.telemetry.console_every = 50;
 
   std::printf("\n== searching on the non-i.i.d. shards ==\n");
   FederatedSearch search(cfg, data.train, partition);

@@ -33,14 +33,13 @@ int main() {
   cfg.supernet.stem_channels = 6;
   cfg.supernet.image_size = 8;
   cfg.schedule.batch_size = 16;
+  // Progress printing via the telemetry console sink (one line per 25
+  // rounds) instead of an ad-hoc callback.
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.console = true;
+  cfg.telemetry.console_every = 25;
 
   FederatedSearch search(cfg, data.train, partition);
-  search.on_round = [](const RoundRecord& r) {
-    if (r.round % 25 == 0) {
-      std::printf("round %4d  avg participant acc %.3f (moving %.3f)\n",
-                  r.round, r.mean_reward, r.moving_avg);
-    }
-  };
   std::printf("== P1: warm-up (theta only) ==\n");
   search.run_warmup(100);
   std::printf("== P2: search (alpha + theta) ==\n");

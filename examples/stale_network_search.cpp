@@ -4,11 +4,14 @@
 // Half the participants ride buses, half ride cars (the paper's "Bus+Car"
 // mix); 70% of updates arrive late or not at all. The example compares
 // the three treatments of stale updates and reports per-round transmission
-// latency under the adaptive and random assignment strategies.
+// latency under the adaptive and random assignment strategies. All three
+// runs stream round/span events into one JSONL telemetry trace
+// (fms_stale_network_trace.jsonl), labeled per variant.
 #include <cstdio>
 
 #include "src/core/search.h"
 #include "src/data/synth.h"
+#include "src/obs/telemetry.h"
 
 int main() {
   using namespace fms;
@@ -27,6 +30,14 @@ int main() {
   cfg.supernet.image_size = 8;
   cfg.schedule.batch_size = 16;
 
+  // One shared trace across the three variants: configure telemetry once
+  // here (not via cfg.telemetry, which would reopen the file per run).
+  TelemetryConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.trace_jsonl_path = "fms_stale_network_trace.jsonl";
+  tcfg.metrics_csv_path = "fms_stale_network_metrics.csv";
+  obs::Telemetry::instance().configure(tcfg);
+
   struct Variant {
     const char* name;
     StalePolicy policy;
@@ -35,6 +46,7 @@ int main() {
        {Variant{"delay-compensated (ours)", StalePolicy::kCompensate},
         Variant{"use stale directly", StalePolicy::kUseStale},
         Variant{"throw stale away", StalePolicy::kDrop}}) {
+    obs::Telemetry::instance().set_label(v.name);
     FederatedSearch search(cfg, data.train, partition);
     search.run_warmup(100);
     SearchOptions opts;
@@ -43,19 +55,24 @@ int main() {
     opts.assign = AssignStrategy::kAdaptive;
     auto records = search.run_search(150, opts);
 
-    int arrived = 0, dropped = 0;
+    int arrived = 0, dropped = 0, stale = 0, compensated = 0;
     double max_lat = 0.0;
     for (const auto& r : records) {
       arrived += r.arrived;
       dropped += r.dropped;
+      stale += r.stale_arrived;
+      compensated += r.compensated;
       max_lat += r.max_latency_s;
     }
-    std::printf("%-26s final moving acc %.3f | updates used %4d, lost %3d | "
-                "mean per-round max latency %.3fs\n",
-                v.name, records.back().moving_avg, arrived, dropped,
-                max_lat / records.size());
+    std::printf("%-26s final moving acc %.3f | updates used %4d (stale %3d, "
+                "repaired %3d), lost %3d | mean per-round max latency %.3fs\n",
+                v.name, records.back().moving_avg, arrived, stale, compensated,
+                dropped, max_lat / records.size());
   }
+  obs::Telemetry::instance().finish();
   std::printf("\nthe compensated run keeps nearly every update useful and "
-              "reaches the best searching accuracy — the paper's Fig. 8.\n");
+              "reaches the best searching accuracy — the paper's Fig. 8.\n"
+              "telemetry: fms_stale_network_trace.jsonl (round/span events), "
+              "fms_stale_network_metrics.csv (metrics snapshot)\n");
   return 0;
 }

@@ -24,6 +24,9 @@ int main() {
   cfg.supernet.stem_channels = 6;
   cfg.supernet.image_size = 8;
   cfg.schedule.batch_size = 16;
+  cfg.telemetry.enabled = true;  // per-round progress via the console sink
+  cfg.telemetry.console = true;
+  cfg.telemetry.console_every = 50;
 
   std::printf("== searching on the 10-class dataset ==\n");
   FederatedSearch search(cfg, c10.train, partition);

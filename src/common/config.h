@@ -67,6 +67,16 @@ struct AugmentConfig {
   float horizontal_flip_p = 0.5F;
 };
 
+// Telemetry sink selection (src/obs). Disabled by default: the search hot
+// path then pays only a relaxed atomic load per instrumentation site.
+struct TelemetryConfig {
+  bool enabled = false;
+  std::string trace_jsonl_path;  // per-round + per-span JSONL events
+  std::string metrics_csv_path;  // registry snapshot written at end of run
+  bool console = false;          // per-round progress one-liner
+  int console_every = 25;        // console line cadence in rounds
+};
+
 struct SearchConfig {
   ThetaOptConfig theta;
   AlphaOptConfig alpha;
@@ -74,6 +84,7 @@ struct SearchConfig {
   SupernetConfig supernet;
   ScheduleConfig schedule;
   AugmentConfig augment;
+  TelemetryConfig telemetry;
   std::uint64_t seed = 42;
 };
 

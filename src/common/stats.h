@@ -54,6 +54,15 @@ class WindowAverage {
       sum_ -= values_.front();
       values_.pop_front();
     }
+    // The rolling add/subtract accumulates floating-point error without
+    // bound over long searches (tens of thousands of rounds); recompute
+    // the sum exactly once per window turnover so the error stays at a
+    // single window's worth of rounding.
+    if (++updates_since_rebuild_ >= window_) {
+      updates_since_rebuild_ = 0;
+      sum_ = 0.0;
+      for (double v : values_) sum_ += v;
+    }
     return value();
   }
 
@@ -65,6 +74,7 @@ class WindowAverage {
   std::size_t window_;
   std::deque<double> values_;
   double sum_ = 0.0;
+  std::size_t updates_since_rebuild_ = 0;
 };
 
 // Welford online mean/variance.

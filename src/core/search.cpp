@@ -1,8 +1,11 @@
 #include "src/core/search.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/nn/optim.h"
+#include "src/obs/span.h"
+#include "src/obs/telemetry.h"
 #include "src/tensor/ops.h"
 
 namespace fms {
@@ -17,6 +20,10 @@ FederatedSearch::FederatedSearch(const SearchConfig& cfg,
                               cfg.theta.weight_decay, cfg.theta.gradient_clip}),
       pool_(/*staleness_threshold=*/5),
       moving_(50) {
+  if (cfg.telemetry.enabled) {
+    obs::Telemetry::instance().configure(cfg.telemetry);
+    owns_telemetry_ = true;
+  }
   staleness_rng_ = rng_.fork();
   Rng net_rng = rng_.fork();
   supernet_ = std::make_unique<Supernet>(cfg.supernet, net_rng);
@@ -30,6 +37,10 @@ FederatedSearch::FederatedSearch(const SearchConfig& cfg,
     traces_.emplace_back(
         static_cast<NetEnvironment>(k % kNumNetEnvironments), rng_.fork());
   }
+}
+
+FederatedSearch::~FederatedSearch() {
+  if (owns_telemetry_) obs::Telemetry::instance().finish();
 }
 
 std::vector<RoundRecord> FederatedSearch::run_warmup(int steps) {
@@ -59,39 +70,48 @@ std::vector<RoundRecord> FederatedSearch::run_search(
 
 RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   const int k = num_participants();
+  const bool telemetry = obs::telemetry_enabled();
+  if (telemetry) obs::Telemetry::instance().set_round(t);
+  FMS_SPAN("round");
   RoundRecord rec;
   rec.round = t;
 
   // --- sample masks and snapshot state (Alg. 1 lines 4-9) ---
   std::vector<Mask> masks;
-  masks.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) masks.push_back(policy_.sample(rng_));
   const bool soft_sync = opts.stale_policy != StalePolicy::kHardSync;
-  if (soft_sync) {
-    RoundSnapshot snap;
-    snap.theta = supernet_->flat_values();
-    snap.alpha = policy_.alpha();
-    snap.masks = masks;
-    pool_.save(t, std::move(snap));
+  {
+    FMS_SPAN("sample");
+    masks.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) masks.push_back(policy_.sample(rng_));
+    if (soft_sync) {
+      RoundSnapshot snap;
+      snap.theta = supernet_->flat_values();
+      snap.alpha = policy_.alpha();
+      snap.masks = masks;
+      pool_.save(t, std::move(snap));
+    }
   }
 
   // --- adaptive transmission (Alg. 1 lines 10-11, Fig. 7) ---
-  std::vector<std::size_t> model_bytes;
-  std::vector<double> bandwidths;
-  model_bytes.reserve(static_cast<std::size_t>(k));
-  bandwidths.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    model_bytes.push_back(
-        supernet_->submodel_bytes(masks[static_cast<std::size_t>(i)]));
-    bandwidths.push_back(traces_[static_cast<std::size_t>(i)].next_bps());
+  std::vector<int> assignment;
+  {
+    FMS_SPAN("transmit");
+    std::vector<std::size_t> model_bytes;
+    std::vector<double> bandwidths;
+    model_bytes.reserve(static_cast<std::size_t>(k));
+    bandwidths.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      model_bytes.push_back(
+          supernet_->submodel_bytes(masks[static_cast<std::size_t>(i)]));
+      bandwidths.push_back(traces_[static_cast<std::size_t>(i)].next_bps());
+    }
+    assignment = assign_models(model_bytes, bandwidths, opts.assign, rng_);
+    LatencyStats lat = transmission_latency(
+        model_bytes, bandwidths, assignment,
+        opts.assign == AssignStrategy::kAverageSize);
+    rec.max_latency_s = lat.max_seconds;
+    rec.mean_latency_s = lat.mean_seconds;
   }
-  std::vector<int> assignment =
-      assign_models(model_bytes, bandwidths, opts.assign, rng_);
-  LatencyStats lat = transmission_latency(
-      model_bytes, bandwidths, assignment,
-      opts.assign == AssignStrategy::kAverageSize);
-  rec.max_latency_s = lat.max_seconds;
-  rec.mean_latency_s = lat.mean_seconds;
 
   // --- dispatch, local training, delayed arrival (lines 12-15) ---
   // Serialized mask/header overhead of a message whose values travel
@@ -100,26 +120,43 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     return 4 + (8 + m.normal.size()) + (8 + m.reduce.size()) +
            codec_encoded_bytes(num_values, opts.codec);
   };
+  obs::Histogram* down_hist = nullptr;
+  obs::Histogram* up_hist = nullptr;
+  if (telemetry) {
+    auto& reg = obs::Telemetry::instance().registry();
+    // Per-participant payload distribution, in bytes (linear-ish coverage
+    // from 1KB to 100MB via the default log-spaced buckets scaled by 1e9).
+    std::vector<double> byte_bounds;
+    for (double b : obs::default_time_buckets()) byte_bounds.push_back(b * 1e9);
+    down_hist = &reg.histogram("fms.participant.bytes_down", byte_bounds);
+    up_hist = &reg.histogram("fms.participant.bytes_up", byte_bounds);
+  }
   for (int i = 0; i < k; ++i) {
     const Mask& mask = masks[static_cast<std::size_t>(assignment[i])];
     SubmodelMsg msg;
     msg.round = t;
     msg.mask = mask;
-    msg.values =
-        supernet_->gather_values(supernet_->masked_param_ids(mask));
-    if (opts.codec != Codec::kFloat32) {
-      msg.values = codec_round_trip(msg.values, opts.codec);
+    {
+      FMS_SPAN("prune");
+      msg.values =
+          supernet_->gather_values(supernet_->masked_param_ids(mask));
+      if (opts.codec != Codec::kFloat32) {
+        msg.values = codec_round_trip(msg.values, opts.codec);
+      }
     }
     const std::size_t down = payload_bytes(mask, msg.values.size());
     rec.bytes_down += down;
     submodel_bytes_sum_ += down;
     ++submodel_count_;
+    if (down_hist != nullptr) down_hist->observe(static_cast<double>(down));
 
     UpdateMsg upd = participants_[static_cast<std::size_t>(i)]->train_step(msg);
     if (opts.codec != Codec::kFloat32) {
       upd.grads = codec_round_trip(upd.grads, opts.codec);
     }
-    rec.bytes_up += payload_bytes(upd.mask, upd.grads.size()) + 8;
+    const std::size_t up = payload_bytes(upd.mask, upd.grads.size()) + 8;
+    rec.bytes_up += up;
+    if (up_hist != nullptr) up_hist->observe(static_cast<double>(up));
 
     const int tau = soft_sync ? opts.staleness.sample(staleness_rng_) : 0;
     if (tau == kExceedsThreshold || tau > pool_.threshold()) {
@@ -136,78 +173,161 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   AlphaPair grad_j = AlphaPair::zeros(policy_.num_edges());
   std::vector<std::pair<double, AlphaPair>> alpha_terms;  // (reward, dlogp)
   double reward_sum = 0.0;
+  double tau_sum = 0.0;
   int m = 0;
-  auto due = arrivals_.find(t);
-  if (due != arrivals_.end()) {
-    for (UpdateMsg& upd : due->second) {
-      const int tau = t - upd.round;
-      std::vector<float> grads;
-      AlphaPair dlogp = AlphaPair::zeros(policy_.num_edges());
-      if (tau == 0) {
-        grads = std::move(upd.grads);
-        dlogp = policy_.log_prob_grad(upd.mask);
-      } else {
-        if (opts.stale_policy == StalePolicy::kDrop) {
-          ++rec.dropped;
-          continue;
-        }
-        const RoundSnapshot* snap = pool_.find(upd.round);
-        if (snap == nullptr) {  // evicted: nothing to compensate against
-          ++rec.dropped;
-          continue;
-        }
-        if (opts.stale_policy == StalePolicy::kUseStale) {
+  {
+    FMS_SPAN("compensate");
+    obs::Histogram* tau_hist =
+        telemetry ? &obs::Telemetry::instance().registry().histogram(
+                        "fms.staleness.tau",
+                        obs::linear_buckets(pool_.threshold()))
+                  : nullptr;
+    auto due = arrivals_.find(t);
+    if (due != arrivals_.end()) {
+      for (UpdateMsg& upd : due->second) {
+        const int tau = t - upd.round;
+        if (tau_hist != nullptr) tau_hist->observe(static_cast<double>(tau));
+        std::vector<float> grads;
+        AlphaPair dlogp = AlphaPair::zeros(policy_.num_edges());
+        if (tau == 0) {
           grads = std::move(upd.grads);
-          dlogp = ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
-        } else {  // kCompensate: Eq. 13 + Eq. 15
-          const auto ids = supernet_->masked_param_ids(upd.mask);
-          std::vector<float> fresh_w = supernet_->gather_values(ids);
-          std::vector<float> stale_w =
-              supernet_->gather_from_flat(snap->theta, ids);
-          grads = compensate_weight_gradient(upd.grads, fresh_w, stale_w,
-                                             opts.dc_lambda);
-          AlphaPair stale_dlogp =
-              ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
-          dlogp = compensate_alpha_gradient(stale_dlogp, policy_.alpha(),
-                                            snap->alpha, opts.dc_lambda);
+          dlogp = policy_.log_prob_grad(upd.mask);
+        } else {
+          if (opts.stale_policy == StalePolicy::kDrop) {
+            ++rec.dropped;
+            continue;
+          }
+          const RoundSnapshot* snap = pool_.find(upd.round);
+          if (snap == nullptr) {  // evicted: nothing to compensate against
+            ++rec.dropped;
+            continue;
+          }
+          if (opts.stale_policy == StalePolicy::kUseStale) {
+            grads = std::move(upd.grads);
+            dlogp = ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
+          } else {  // kCompensate: Eq. 13 + Eq. 15
+            const auto ids = supernet_->masked_param_ids(upd.mask);
+            std::vector<float> fresh_w = supernet_->gather_values(ids);
+            std::vector<float> stale_w =
+                supernet_->gather_from_flat(snap->theta, ids);
+            grads = compensate_weight_gradient(upd.grads, fresh_w, stale_w,
+                                               opts.dc_lambda);
+            AlphaPair stale_dlogp =
+                ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
+            dlogp = compensate_alpha_gradient(stale_dlogp, policy_.alpha(),
+                                              snap->alpha, opts.dc_lambda);
+            ++rec.compensated;
+          }
+          ++rec.stale_arrived;
         }
+        tau_sum += tau;
+        rec.max_tau = std::max(rec.max_tau, tau);
+        supernet_->scatter_add_grads(supernet_->masked_param_ids(upd.mask),
+                                     grads);
+        alpha_terms.emplace_back(upd.reward, std::move(dlogp));
+        reward_sum += upd.reward;
+        ++m;
       }
-      supernet_->scatter_add_grads(supernet_->masked_param_ids(upd.mask),
-                                   grads);
-      alpha_terms.emplace_back(upd.reward, std::move(dlogp));
-      reward_sum += upd.reward;
-      ++m;
+      arrivals_.erase(due);
     }
-    arrivals_.erase(due);
   }
 
   rec.arrived = m;
-  if (m > 0) {
-    rec.mean_reward = reward_sum / m;
-    rec.moving_avg = moving_.update(rec.mean_reward);
+  rec.mean_tau = m > 0 ? tau_sum / m : 0.0;
+  {
+    FMS_SPAN("aggregate");
+    if (m > 0) {
+      rec.mean_reward = reward_sum / m;
+      rec.moving_avg = moving_.update(rec.mean_reward);
 
-    // REINFORCE with moving-average baseline (Eq. 8-10).
-    const double b = policy_.update_baseline(rec.mean_reward);
-    for (auto& [reward, dlogp] : alpha_terms) {
-      grad_j.add_scaled(dlogp, static_cast<float>(reward - b) /
-                                   static_cast<float>(m));
-    }
-    if (opts.update_alpha) policy_.apply_gradient(grad_j);
-
-    if (opts.update_theta) {
-      // Average gradients over arrived sub-models (line 32) and step.
-      const float inv_m = 1.0F / static_cast<float>(m);
-      for (Param* p : supernet_->params()) {
-        for (float& g : p->grad.vec()) g *= inv_m;
+      // REINFORCE with moving-average baseline (Eq. 8-10).
+      const double b = policy_.update_baseline(rec.mean_reward);
+      for (auto& [reward, dlogp] : alpha_terms) {
+        grad_j.add_scaled(dlogp, static_cast<float>(reward - b) /
+                                     static_cast<float>(m));
       }
-      theta_opt_.step(supernet_->params());
+      if (opts.update_alpha) policy_.apply_gradient(grad_j);
+
+      if (opts.update_theta) {
+        // Average gradients over arrived sub-models (line 32) and step.
+        const float inv_m = 1.0F / static_cast<float>(m);
+        for (Param* p : supernet_->params()) {
+          for (float& g : p->grad.vec()) g *= inv_m;
+        }
+        theta_opt_.step(supernet_->params());
+      }
+    } else {
+      rec.moving_avg = moving_.value();
     }
-  } else {
-    rec.moving_avg = moving_.value();
   }
+  rec.alpha_entropy = policy_.mean_entropy();
+  rec.baseline = policy_.baseline();
 
   if (soft_sync) pool_.evict(t);
+  if (telemetry) record_round_telemetry(rec, opts);
   return rec;
+}
+
+// Feeds the round's outcome into the metrics registry and emits the
+// structured "round" trace event — everything the paper's systems curves
+// (Figs. 7-8, Table V) are plotted from.
+void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
+                                             const SearchOptions& opts) {
+  obs::Telemetry& telemetry = obs::Telemetry::instance();
+  obs::MetricsRegistry& reg = telemetry.registry();
+
+  reg.counter("fms.updates.arrived").add(static_cast<std::uint64_t>(rec.arrived));
+  reg.counter("fms.updates.dropped").add(static_cast<std::uint64_t>(rec.dropped));
+  reg.counter("fms.updates.stale").add(static_cast<std::uint64_t>(rec.stale_arrived));
+  reg.counter("fms.updates.compensated")
+      .add(static_cast<std::uint64_t>(rec.compensated));
+  reg.counter("fms.bytes.down").add(rec.bytes_down);
+  reg.counter("fms.bytes.up").add(rec.bytes_up);
+  reg.counter("fms.rounds").add(1);
+
+  reg.gauge("fms.policy.baseline").set(rec.baseline);
+  reg.gauge("fms.alpha.entropy.mean").set(rec.alpha_entropy);
+  reg.gauge("fms.round.moving_avg").set(rec.moving_avg);
+
+  reg.histogram("fms.round.max_latency_s").observe(rec.max_latency_s);
+  reg.histogram("fms.round.mean_latency_s").observe(rec.mean_latency_s);
+
+  // Per-edge alpha entropy gauges (the paper's policy-sharpening signal).
+  const std::vector<double> entropies = policy_.edge_entropies();
+  const std::size_t half = entropies.size() / 2;
+  obs::Histogram& ent_hist =
+      reg.histogram("fms.alpha.edge_entropy", obs::linear_buckets(3));
+  for (std::size_t e = 0; e < entropies.size(); ++e) {
+    const bool normal = e < half;
+    const std::size_t edge = normal ? e : e - half;
+    reg.gauge(std::string("fms.alpha.entropy.") +
+              (normal ? "normal." : "reduce.") + std::to_string(edge))
+        .set(entropies[e]);
+    ent_hist.observe(entropies[e]);
+  }
+
+  obs::TraceEvent event;
+  event.type = "round";
+  event.name = "round";
+  event.round = rec.round;
+  event.fields = {
+      {"mean_reward", rec.mean_reward},
+      {"moving_avg", rec.moving_avg},
+      {"arrived", static_cast<double>(rec.arrived)},
+      {"dropped", static_cast<double>(rec.dropped)},
+      {"stale_arrived", static_cast<double>(rec.stale_arrived)},
+      {"compensated", static_cast<double>(rec.compensated)},
+      {"mean_tau", rec.mean_tau},
+      {"max_tau", static_cast<double>(rec.max_tau)},
+      {"bytes_down", static_cast<double>(rec.bytes_down)},
+      {"bytes_up", static_cast<double>(rec.bytes_up)},
+      {"max_latency_s", rec.max_latency_s},
+      {"mean_latency_s", rec.mean_latency_s},
+      {"alpha_entropy", rec.alpha_entropy},
+      {"baseline", rec.baseline},
+      {"dc_lambda", static_cast<double>(opts.dc_lambda)},
+  };
+  telemetry.emit(std::move(event));
 }
 
 Genotype FederatedSearch::derive() const {

@@ -52,13 +52,27 @@ struct RoundRecord {
   double mean_latency_s = 0.0;
   std::size_t bytes_down = 0;
   std::size_t bytes_up = 0;
+  // Staleness observability (paper Fig. 8 / Alg. 1): of the updates applied
+  // this round, how many were stale (tau > 0), how late they were, and how
+  // many went through the Eq. 13/15 delay compensation.
+  int stale_arrived = 0;
+  int compensated = 0;
+  double mean_tau = 0.0;  // mean staleness of applied updates, in rounds
+  int max_tau = 0;
+  // Search-semantic gauges the paper's curves need.
+  double alpha_entropy = 0.0;  // mean per-edge policy entropy (nats)
+  double baseline = 0.0;       // REINFORCE moving-average baseline (Eq. 9)
 };
 
 class FederatedSearch {
  public:
   // `partition[k]` holds the training-set indices of participant k.
+  // When cfg.telemetry.enabled the constructor installs the configured
+  // sinks on the global obs::Telemetry context; the destructor then
+  // flushes them and writes the metrics CSV snapshot.
   FederatedSearch(const SearchConfig& cfg, const Dataset& train_data,
                   const std::vector<std::vector<int>>& partition);
+  ~FederatedSearch();
 
   // P1: fixed (uniform) alpha, theta-only updates.
   std::vector<RoundRecord> run_warmup(int steps);
@@ -82,6 +96,8 @@ class FederatedSearch {
 
  private:
   RoundRecord run_round(int t, const SearchOptions& opts);
+  void record_round_telemetry(const RoundRecord& rec,
+                              const SearchOptions& opts);
 
   SearchConfig cfg_;
   Rng rng_;
@@ -94,6 +110,7 @@ class FederatedSearch {
   SGD theta_opt_;
   std::vector<std::unique_ptr<SearchParticipant>> participants_;
   std::vector<BandwidthTrace> traces_;
+  bool owns_telemetry_ = false;  // true when the ctor configured the sinks
   MemoryPool pool_;
   std::map<int, std::vector<UpdateMsg>> arrivals_;
   WindowAverage moving_;

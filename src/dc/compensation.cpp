@@ -1,5 +1,7 @@
 #include "src/dc/compensation.h"
 
+#include "src/obs/span.h"
+
 namespace fms {
 
 const char* stale_policy_name(StalePolicy p) {
@@ -15,6 +17,7 @@ const char* stale_policy_name(StalePolicy p) {
 std::vector<float> compensate_weight_gradient(
     const std::vector<float>& stale_grad, const std::vector<float>& fresh_w,
     const std::vector<float>& stale_w, float lambda) {
+  FMS_SPAN("dc.weight");
   FMS_CHECK(stale_grad.size() == fresh_w.size() &&
             stale_grad.size() == stale_w.size());
   std::vector<float> out(stale_grad.size());
@@ -29,6 +32,7 @@ AlphaPair compensate_alpha_gradient(const AlphaPair& stale_grad,
                                     const AlphaPair& alpha_now,
                                     const AlphaPair& alpha_stale,
                                     float lambda) {
+  FMS_SPAN("dc.alpha");
   FMS_CHECK(stale_grad.normal.size() == alpha_now.normal.size() &&
             stale_grad.normal.size() == alpha_stale.normal.size());
   AlphaPair out = stale_grad;

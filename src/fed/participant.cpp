@@ -1,5 +1,6 @@
 #include "src/fed/participant.h"
 
+#include "src/obs/span.h"
 #include "src/tensor/ops.h"
 
 namespace fms {
@@ -20,6 +21,7 @@ SearchParticipant::SearchParticipant(int id, Shard shard,
 }
 
 UpdateMsg SearchParticipant::train_step(const SubmodelMsg& msg) {
+  FMS_SPAN("local_train");
   const auto ids = replica_->masked_param_ids(msg.mask);
   replica_->scatter_values(ids, msg.values);
   replica_->zero_grad();

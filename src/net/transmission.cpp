@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/net/trace.h"
+#include "src/obs/span.h"
 
 namespace fms {
 
@@ -20,6 +21,7 @@ const char* assign_strategy_name(AssignStrategy s) {
 std::vector<int> assign_models(const std::vector<std::size_t>& model_bytes,
                                const std::vector<double>& bandwidth_bps,
                                AssignStrategy strategy, Rng& rng) {
+  FMS_SPAN("net.assign");
   const std::size_t k = bandwidth_bps.size();
   FMS_CHECK(model_bytes.size() == k && k > 0);
   std::vector<int> assignment(k);

@@ -1,0 +1,111 @@
+#include "src/obs/sinks.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace fms::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON has no NaN/Inf literals; clamp to null-safe zero.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  // %.9g round-trips the values we care about and keeps integers clean.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path) : out_(path) {
+  FMS_CHECK_MSG(out_.good(), "cannot open trace file " << path);
+}
+
+void JsonlTraceWriter::write(const TraceEvent& event) {
+  std::string line;
+  line.reserve(96 + event.fields.size() * 24);
+  line += "{\"type\":\"";
+  line += json_escape(event.type);
+  line += "\",\"name\":\"";
+  line += json_escape(event.name);
+  line += "\"";
+  if (event.round >= 0) {
+    line += ",\"round\":";
+    append_number(line, event.round);
+  }
+  if (!event.label.empty()) {
+    line += ",\"label\":\"";
+    line += json_escape(event.label);
+    line += "\"";
+  }
+  for (const auto& [key, value] : event.fields) {
+    line += ",\"";
+    line += json_escape(key);
+    line += "\":";
+    append_number(line, value);
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  ++events_;
+}
+
+void JsonlTraceWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+std::size_t JsonlTraceWriter::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+ConsoleRoundSink::ConsoleRoundSink(int every_n, std::FILE* out)
+    : every_(every_n > 0 ? every_n : 1), out_(out) {}
+
+void ConsoleRoundSink::write(const TraceEvent& event) {
+  if (event.type != "round" || event.round % every_ != 0) return;
+  double reward = 0.0, moving = 0.0, arrived = 0.0, dropped = 0.0;
+  for (const auto& [key, value] : event.fields) {
+    if (key == "mean_reward") reward = value;
+    else if (key == "moving_avg") moving = value;
+    else if (key == "arrived") arrived = value;
+    else if (key == "dropped") dropped = value;
+  }
+  std::fprintf(out_, "round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d\n",
+               event.round, reward, moving, static_cast<int>(arrived),
+               static_cast<int>(dropped));
+}
+
+void ConsoleRoundSink::flush() { std::fflush(out_); }
+
+}  // namespace fms::obs

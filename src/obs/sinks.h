@@ -1,0 +1,74 @@
+// Structured telemetry sinks.
+//
+// Producers (spans, the search loop, benches) describe what happened as a
+// TraceEvent; sinks decide where it goes. Two structured formats:
+//   * JSONL — one self-contained JSON object per line, one line per event,
+//     for offline analysis of round/phase timing traces;
+//   * console — the per-round progress one-liner the examples print.
+// Metrics snapshots go to CSV via MetricsRegistry::write_csv.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fms::obs {
+
+// One observable occurrence: a finished span, a completed round, or a
+// run-level annotation. Numeric payload only — everything the paper's
+// curves need is a number.
+struct TraceEvent {
+  std::string type;   // "span" | "round" | "meta"
+  std::string name;   // span phase (e.g. "local_train") or event name
+  int round = -1;     // -1 when not tied to a round
+  std::string label;  // run/variant label (stamped by Telemetry if empty)
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+// One JSON object per event, one event per line:
+//   {"type":"span","name":"local_train","round":12,"dur_s":0.0031}
+// Writes are mutex-serialized so ThreadPool workers can emit concurrently.
+class JsonlTraceWriter : public TraceSink {
+ public:
+  explicit JsonlTraceWriter(const std::string& path);
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+  std::size_t events_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::size_t events_ = 0;
+};
+
+// Per-round progress one-liner (the examples' former on_round lambdas):
+//   round  25  acc 0.412 (moving 0.398)  arrived 10 dropped 0
+class ConsoleRoundSink : public TraceSink {
+ public:
+  explicit ConsoleRoundSink(int every_n = 25, std::FILE* out = stdout);
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  int every_;
+  std::FILE* out_;
+};
+
+// Escapes a string for embedding in a JSON literal (quotes, backslashes,
+// control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace fms::obs

@@ -1,0 +1,66 @@
+#include "src/obs/telemetry.h"
+
+namespace fms::obs {
+
+Telemetry& Telemetry::instance() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+void Telemetry::add_sink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Telemetry::clear_sinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+}
+
+std::size_t Telemetry::num_sinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sinks_.size();
+}
+
+void Telemetry::emit(TraceEvent event) {
+  if (!telemetry_enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.label.empty()) event.label = label_;
+  for (const auto& sink : sinks_) sink->write(event);
+}
+
+void Telemetry::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+void Telemetry::set_label(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_ = std::move(label);
+}
+
+void Telemetry::configure(const TelemetryConfig& cfg) {
+  set_telemetry_enabled(cfg.enabled);
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+  metrics_csv_path_ = cfg.metrics_csv_path;
+  if (!cfg.enabled) return;
+  if (!cfg.trace_jsonl_path.empty()) {
+    sinks_.push_back(std::make_shared<JsonlTraceWriter>(cfg.trace_jsonl_path));
+  }
+  if (cfg.console) {
+    sinks_.push_back(std::make_shared<ConsoleRoundSink>(cfg.console_every));
+  }
+}
+
+void Telemetry::finish() {
+  std::string csv_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& sink : sinks_) sink->flush();
+    csv_path = metrics_csv_path_;
+  }
+  if (!csv_path.empty()) registry_.write_csv(csv_path);
+}
+
+}  // namespace fms::obs

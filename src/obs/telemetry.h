@@ -1,0 +1,67 @@
+// Process-wide telemetry context: the metrics registry plus the active
+// trace sinks, with the current-round tag that spans stamp onto their
+// events.
+//
+// A single global context (rather than one per FederatedSearch) lets
+// free functions deep in the stack — assign_models, the delay-compensation
+// kernels, participant train steps — record spans without threading a
+// handle through every call signature, mirroring how production metrics
+// libraries work. Everything is inert until telemetry_enabled() is set,
+// either directly or via configure(SearchConfig::telemetry).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sinks.h"
+
+namespace fms::obs {
+
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  MetricsRegistry& registry() { return registry_; }
+
+  void add_sink(std::shared_ptr<TraceSink> sink);
+  void clear_sinks();
+  std::size_t num_sinks() const;
+
+  // Fans the event out to every sink; no-op while telemetry is disabled.
+  // Stamps the current run label onto events that carry none.
+  void emit(TraceEvent event);
+  void flush();
+
+  // Round tag for span events (set by FederatedSearch::run_round).
+  void set_round(int round) { round_.store(round, std::memory_order_relaxed); }
+  int round() const { return round_.load(std::memory_order_relaxed); }
+
+  // Run/variant label stamped onto emitted events (benches comparing
+  // several configurations into one trace file).
+  void set_label(std::string label);
+
+  // Applies a TelemetryConfig: toggles the global enable flag and replaces
+  // the sink set. The metrics CSV path is remembered and written by
+  // finish().
+  void configure(const TelemetryConfig& cfg);
+
+  // Flushes sinks and writes the metrics CSV snapshot when configured.
+  void finish();
+
+ private:
+  Telemetry() = default;
+
+  MetricsRegistry registry_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  std::string label_;
+  std::string metrics_csv_path_;
+  std::atomic<int> round_{-1};
+};
+
+}  // namespace fms::obs

@@ -137,6 +137,35 @@ double ArchPolicy::update_baseline(double round_mean_accuracy) {
   return baseline_.update(round_mean_accuracy);
 }
 
+namespace {
+
+double row_entropy(const std::array<float, kNumOps>& alpha_row) {
+  const auto p = alpha_softmax(alpha_row);
+  double h = 0.0;
+  for (float pi : p) {
+    if (pi > 0.0F) h -= static_cast<double>(pi) * std::log(pi);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<double> ArchPolicy::edge_entropies() const {
+  std::vector<double> out;
+  out.reserve(alpha_.normal.size() + alpha_.reduce.size());
+  for (const auto& row : alpha_.normal) out.push_back(row_entropy(row));
+  for (const auto& row : alpha_.reduce) out.push_back(row_entropy(row));
+  return out;
+}
+
+double ArchPolicy::mean_entropy() const {
+  const std::vector<double> h = edge_entropies();
+  if (h.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  return sum / static_cast<double>(h.size());
+}
+
 void ArchPolicy::apply_gradient(const AlphaPair& grad_j) {
   AlphaPair step = grad_j;
   // Weight decay pulls alpha toward the uniform policy (maximizing

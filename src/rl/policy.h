@@ -61,6 +61,13 @@ class ArchPolicy {
   double update_baseline(double round_mean_accuracy);
   double baseline() const { return baseline_.value(); }
 
+  // Shannon entropy (nats) of each edge's softmax distribution, normal
+  // edges first then reduce edges. The uniform initial policy gives
+  // log(kNumOps) per edge; a converged policy approaches 0 — the telemetry
+  // layer tracks this decay as the search's progress signal.
+  std::vector<double> edge_entropies() const;
+  double mean_entropy() const;
+
   // Gradient-ascent step on J (with weight decay and global-norm clip).
   void apply_gradient(const AlphaPair& grad_j);
 

@@ -4,12 +4,14 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/span.h"
 
 namespace fms {
 
 RoundTimeResult simulate_round_time(const RoundTimeConfig& cfg,
                                     const std::vector<NetEnvironment>& envs,
                                     Rng& rng) {
+  FMS_SPAN("sim.round_time");
   const int k = cfg.participants;
   FMS_CHECK(static_cast<int>(envs.size()) == k && k > 0);
   FMS_CHECK(cfg.wait_fraction > 0.0 && cfg.wait_fraction <= 1.0);
@@ -93,6 +95,11 @@ RoundTimeResult simulate_round_time(const RoundTimeConfig& cfg,
   for (double& v : res.induced_staleness) v /= total_updates;
   res.mean_hard_round = res.hard_total_seconds / cfg.rounds;
   res.mean_soft_round = res.soft_total_seconds / cfg.rounds;
+  if (obs::telemetry_enabled()) {
+    auto& reg = obs::Telemetry::instance().registry();
+    reg.histogram("fms.sim.hard_round_s").observe(res.mean_hard_round);
+    reg.histogram("fms.sim.soft_round_s").observe(res.mean_soft_round);
+  }
   return res;
 }
 

@@ -77,6 +77,30 @@ TEST(Stats, WindowAverage) {
   EXPECT_DOUBLE_EQ(w.value(), 3.0);
 }
 
+TEST(Stats, WindowAverageResistsFloatingPointDrift) {
+  // Regression: the rolling sum used to accumulate cancellation error when
+  // a huge value passed through the window — subtracting it back out loses
+  // the low-order bits of its small neighbors. The window recomputes its
+  // sum from the stored values once per window turnover, so after the
+  // poison value has aged out the average must be *exact* again.
+  WindowAverage w(4);
+  w.update(1e16);  // swamps the mantissa of subsequent small values
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) w.update(x);
+  // Window now holds exactly {5, 6, 7, 8}.
+  EXPECT_DOUBLE_EQ(w.value(), 6.5);
+}
+
+TEST(Stats, WindowAverageLongRunStaysExact) {
+  // Repeated large/small churn over many windows; periodic rebuilds keep
+  // the sum anchored to the stored values instead of drifting.
+  WindowAverage w(8);
+  const double big = 1099511627776.0;  // 2^40: sums with 0.25 stay exact
+  for (int i = 0; i < 10000; ++i) {
+    w.update(i % 2 == 0 ? big : 0.25);
+  }
+  EXPECT_DOUBLE_EQ(w.value(), (4.0 * big + 4.0 * 0.25) / 8.0);
+}
+
 TEST(Stats, OnlineMeanVar) {
   OnlineMeanVar mv;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) mv.update(x);

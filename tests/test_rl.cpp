@@ -168,6 +168,26 @@ TEST(Policy, DeriveGenotypeUsesAlpha) {
   for (const auto& e : g.reduce) EXPECT_EQ(e.op, OpType::kMaxPool3);
 }
 
+TEST(Policy, EntropyIsMaximalAtUniformAndShrinksWhenPeaked) {
+  ArchPolicy policy(3, fast_cfg());
+  // Zero alpha = uniform softmax over kNumOps: entropy is exactly ln(N)
+  // on every edge (normal and reduce).
+  const std::vector<double> h = policy.edge_entropies();
+  ASSERT_EQ(h.size(), 6u);  // 3 normal + 3 reduce edges
+  for (double v : h) EXPECT_NEAR(v, std::log(static_cast<double>(kNumOps)), 1e-6);
+  EXPECT_NEAR(policy.mean_entropy(), std::log(static_cast<double>(kNumOps)),
+              1e-6);
+
+  // Peaking one edge lowers its entropy and leaves the rest at maximum.
+  AlphaPair a = AlphaPair::zeros(3);
+  a.normal[0][1] = 12.0F;
+  policy.set_alpha(a);
+  const std::vector<double> h2 = policy.edge_entropies();
+  EXPECT_LT(h2[0], 0.01);
+  EXPECT_NEAR(h2[1], std::log(static_cast<double>(kNumOps)), 1e-6);
+  EXPECT_LT(policy.mean_entropy(), std::log(static_cast<double>(kNumOps)));
+}
+
 TEST(Policy, WeightDecayPullsTowardUniform) {
   AlphaOptConfig cfg = fast_cfg();
   cfg.weight_decay = 0.5F;

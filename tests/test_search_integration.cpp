@@ -1,6 +1,9 @@
 // Integration tests: the full federated search pipeline end to end on a
 // tiny synthetic workload — warm-up, search, staleness policies, adaptive
 // transmission accounting, and genotype derivation + retraining.
+#include <algorithm>
+#include <cmath>
+
 #include "gtest/gtest.h"
 #include "src/core/retrain.h"
 #include "src/core/search.h"
@@ -118,6 +121,79 @@ TEST(SearchIntegration, SoftSyncPoliciesRunAndAccountArrivals) {
     Genotype g = search.derive();
     EXPECT_EQ(g.normal.size(), 4u);
   }
+}
+
+TEST(SearchIntegration, HardSyncRecordsNoStalenessButTracksPolicyState) {
+  Rng rng(14);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  search.run_warmup(3);
+  auto records = search.run_search(10, SearchOptions{});
+  for (const auto& r : records) {
+    // Hard sync: every update is fresh, nothing is repaired.
+    EXPECT_EQ(r.stale_arrived, 0);
+    EXPECT_EQ(r.compensated, 0);
+    EXPECT_DOUBLE_EQ(r.mean_tau, 0.0);
+    EXPECT_EQ(r.max_tau, 0);
+    // Policy observability rides along on every record: a softmax over
+    // 8 ops has entropy in (0, ln 8], and the REINFORCE baseline tracks
+    // rewards in [0, 1].
+    EXPECT_GT(r.alpha_entropy, 0.0);
+    EXPECT_LE(r.alpha_entropy, std::log(8.0) + 1e-5);
+    EXPECT_GE(r.baseline, 0.0);
+    EXPECT_LE(r.baseline, 1.0);
+  }
+}
+
+TEST(SearchIntegration, StalenessObservabilityTracksPolicy) {
+  Rng rng(15);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  auto parts = iid_partition(tt.train.size(), cfg.schedule.num_participants, rng);
+
+  auto totals = [&](StalePolicy policy) {
+    FederatedSearch search(cfg, tt.train, parts);
+    search.run_warmup(3);
+    SearchOptions opts;
+    opts.stale_policy = policy;
+    opts.staleness = StalenessDistribution::severe();
+    auto records = search.run_search(30, opts);
+    int stale = 0, compensated = 0, max_tau = 0;
+    double mean_tau_sum = 0.0;
+    for (const auto& r : records) {
+      stale += r.stale_arrived;
+      compensated += r.compensated;
+      max_tau = std::max(max_tau, r.max_tau);
+      mean_tau_sum += r.mean_tau;
+      EXPECT_LE(r.compensated, r.arrived);
+      EXPECT_LE(r.stale_arrived, r.arrived);
+      EXPECT_GE(r.mean_tau, 0.0);
+      EXPECT_LE(r.mean_tau, static_cast<double>(r.max_tau));
+    }
+    struct Totals {
+      int stale, compensated, max_tau;
+      double mean_tau_sum;
+    };
+    return Totals{stale, compensated, max_tau, mean_tau_sum};
+  };
+
+  // Severe distribution: 60% of updates arrive 1-2 rounds late.
+  const auto comp = totals(StalePolicy::kCompensate);
+  EXPECT_GT(comp.stale, 0);
+  EXPECT_GT(comp.compensated, 0);      // every applied stale update repaired
+  EXPECT_EQ(comp.compensated, comp.stale);
+  EXPECT_GE(comp.max_tau, 1);
+  EXPECT_GT(comp.mean_tau_sum, 0.0);
+
+  const auto use = totals(StalePolicy::kUseStale);
+  EXPECT_GT(use.stale, 0);             // stale updates applied as-is...
+  EXPECT_EQ(use.compensated, 0);       // ...with no compensation
+
+  const auto drop = totals(StalePolicy::kDrop);
+  EXPECT_EQ(drop.stale, 0);            // stale updates never applied
+  EXPECT_EQ(drop.compensated, 0);
 }
 
 TEST(SearchIntegration, AlphaOnlyUpdateOptionFreezesTheta) {
