@@ -7,6 +7,7 @@
 //                  [--policy compensate|use|throw]
 //                  [--checkpoint PATH] [--genotype-out PATH] [--seed N]
 //                  [--trace-jsonl PATH] [--metrics-csv PATH]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,7 +29,18 @@ const char* kUsage =
     "                      [--checkpoint PATH] [--genotype-out PATH]\n"
     "                      [--dot-out PATH] [--seed N]\n"
     "                      [--trace-jsonl PATH] [--metrics-csv PATH]\n"
-    "                      [--progress-every N]\n";
+    "                      [--progress-every N]\n"
+    "                      [--fault-plan SPEC|severe] [--quorum Q]\n"
+    "                      [--timeout SECONDS] [--checkpoint-every N]\n"
+    "                      [--resume PATH]\n"
+    "\n"
+    "fault flags:\n"
+    "  --fault-plan SPEC     comma 'key=value' fault schedule (or 'severe'),\n"
+    "                        e.g. crash=0.3,corrupt=0.1,divergent=0.2,link=0.1\n"
+    "  --quorum Q            commit a round once ceil(Q*K) updates arrive\n"
+    "  --timeout SECONDS     per-round commit deadline cap (0 = none)\n"
+    "  --checkpoint-every N  auto-checkpoint cadence; requires --checkpoint\n"
+    "  --resume PATH         restore a checkpoint and continue the search\n";
 
 }  // namespace
 
@@ -47,6 +59,11 @@ int main(int argc, char** argv) {
   std::string metrics_csv;
   int progress_every = 25;
   std::uint64_t seed = 42;
+  std::string fault_plan_spec;
+  double quorum = 1.0;
+  double timeout_s = 0.0;
+  int checkpoint_every = 0;
+  std::string resume_path;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -82,6 +99,16 @@ int main(int argc, char** argv) {
       progress_every = std::atoi(need_value("--progress-every"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (!std::strcmp(argv[i], "--fault-plan")) {
+      fault_plan_spec = need_value("--fault-plan");
+    } else if (!std::strcmp(argv[i], "--quorum")) {
+      quorum = std::atof(need_value("--quorum"));
+    } else if (!std::strcmp(argv[i], "--timeout")) {
+      timeout_s = std::atof(need_value("--timeout"));
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      checkpoint_every = std::atoi(need_value("--checkpoint-every"));
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume_path = need_value("--resume");
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       std::printf("%s", kUsage);
       return 0;
@@ -90,8 +117,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (participants < 1 || rounds < 0 || warmup < 0) {
+  if (participants < 1 || rounds < 0 || warmup < 0 || quorum <= 0.0 ||
+      quorum > 1.0 || timeout_s < 0.0 || checkpoint_every < 0) {
     std::fprintf(stderr, "invalid arguments\n%s", kUsage);
+    return 2;
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every requires --checkpoint PATH\n%s",
+                 kUsage);
     return 2;
   }
 
@@ -146,7 +179,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!fault_plan_spec.empty()) {
+    opts.fault_plan = fault_plan_spec == "severe"
+                          ? FaultPlan::severe()
+                          : FaultPlan::parse(fault_plan_spec);
+  }
+  opts.quorum = quorum;
+  opts.round_timeout_s = timeout_s;
+  opts.checkpoint_every = checkpoint_every;
+  if (checkpoint_every > 0) opts.checkpoint_path = checkpoint_path;
+
   FederatedSearch search(cfg, data.train, partition);
+  if (!resume_path.empty()) {
+    const SearchCheckpoint ckpt = read_checkpoint_file(resume_path);
+    search.restore(ckpt);
+    // Credit completed rounds against the warm-up first, then the search.
+    const int done = ckpt.round;
+    const int warmup_left = std::max(0, warmup - done);
+    const int search_left = std::max(0, warmup + rounds - std::max(done, warmup));
+    std::printf("resumed from %s at round %d (%s runtime state)\n",
+                resume_path.c_str(), done,
+                ckpt.has_runtime_state() ? "with" : "without");
+    warmup = warmup_left;
+    rounds = search_left;
+  }
   std::printf("warm-up: %d rounds, search: %d rounds, K=%d, %s, "
               "staleness=%s/%s\n",
               warmup, rounds, participants, noniid ? "non-iid" : "iid",
@@ -154,6 +210,23 @@ int main(int argc, char** argv) {
               staleness == "none" ? "-" : policy_name.c_str());
   search.run_warmup(warmup);
   search.run_search(rounds, opts);
+  if (!opts.fault_plan.empty()) {
+    const FaultStats& fs = search.fault_stats();
+    std::printf(
+        "faults: injected %llu (crash %llu, dropout %llu, link %llu, "
+        "corrupt %llu, divergent %llu) = rejected %llu + dropped %llu + "
+        "recovered %llu; retransmits %llu\n",
+        static_cast<unsigned long long>(fs.injected_total()),
+        static_cast<unsigned long long>(fs.injected_crash),
+        static_cast<unsigned long long>(fs.injected_dropout),
+        static_cast<unsigned long long>(fs.injected_link),
+        static_cast<unsigned long long>(fs.injected_corrupt),
+        static_cast<unsigned long long>(fs.injected_divergent),
+        static_cast<unsigned long long>(fs.rejected),
+        static_cast<unsigned long long>(fs.dropped),
+        static_cast<unsigned long long>(fs.recovered),
+        static_cast<unsigned long long>(fs.retransmits));
+  }
 
   Genotype genotype = search.derive();
   std::printf("searched: %s\n", genotype.to_string().c_str());
@@ -162,10 +235,8 @@ int main(int argc, char** argv) {
               search.avg_submodel_bytes() / 1024.0);
 
   if (!checkpoint_path.empty()) {
-    write_checkpoint_file(
-        checkpoint_path,
-        make_checkpoint(search.supernet(), search.policy(),
-                        cfg.supernet.num_nodes, warmup + rounds));
+    // Full-state checkpoint: a later --resume continues bit-identically.
+    write_checkpoint_file(checkpoint_path, search.checkpoint());
     std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
   }
   if (!genotype_out.empty()) {

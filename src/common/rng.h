@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/common/check.h"
@@ -77,6 +79,20 @@ class Rng {
   // Returns a derived generator; streams seeded this way are independent
   // enough for simulation purposes and keep components decoupled.
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  // Engine-state snapshot/restore (the standard guarantees the textual
+  // round-trip reproduces the exact stream) — what crash-recovery needs
+  // for bit-identical resumed searches.
+  std::string save_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+  void load_state(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    FMS_CHECK_MSG(!is.fail(), "corrupt rng state");
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -33,6 +33,12 @@ class ExpMovingAverage {
   double value() const { return initialized_ ? value_ : 0.0; }
   bool initialized() const { return initialized_; }
 
+  // Exact state restore for crash-recovery (beta stays as constructed).
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double beta_;
   double value_ = 0.0;
@@ -68,6 +74,21 @@ class WindowAverage {
 
   double value() const {
     return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+  }
+
+  // Exact state snapshot/restore for crash-recovery: the rolling sum and
+  // the rebuild phase both carry floating-point state that a resumed run
+  // must reproduce bit-for-bit.
+  std::size_t window() const { return window_; }
+  const std::deque<double>& values() const { return values_; }
+  double raw_sum() const { return sum_; }
+  std::size_t rebuild_counter() const { return updates_since_rebuild_; }
+  void restore(std::deque<double> values, double sum,
+               std::size_t rebuild_counter) {
+    FMS_CHECK_MSG(values.size() <= window_, "window state too large");
+    values_ = std::move(values);
+    sum_ = sum;
+    updates_since_rebuild_ = rebuild_counter;
   }
 
  private:

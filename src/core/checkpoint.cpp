@@ -37,6 +37,10 @@ std::vector<std::uint8_t> SearchCheckpoint::serialize() const {
   w.write(baseline);
   w.write_vector(theta);
   w.write_vector(alpha.flatten());
+  if (version >= 2) {
+    w.write(static_cast<std::uint8_t>(baseline_initialized ? 1 : 0));
+    w.write_vector(runtime_state);
+  }
   return w.take();
 }
 
@@ -47,13 +51,24 @@ SearchCheckpoint SearchCheckpoint::deserialize(
                 "not a checkpoint file");
   SearchCheckpoint ckpt;
   ckpt.version = r.read<std::uint32_t>();
-  FMS_CHECK_MSG(ckpt.version == 1, "unsupported checkpoint version");
+  FMS_CHECK_MSG(ckpt.version >= 1 && ckpt.version <= kCheckpointVersion,
+                "unsupported checkpoint version " << ckpt.version);
   ckpt.num_edges = r.read<int>();
   ckpt.num_nodes = r.read<int>();
   ckpt.round = r.read<int>();
   ckpt.baseline = r.read<double>();
+  FMS_CHECK_MSG(ckpt.num_edges >= 0 && ckpt.num_nodes >= 0,
+                "corrupt checkpoint shape: " << ckpt.num_edges << " edges, "
+                                             << ckpt.num_nodes << " nodes");
   ckpt.theta = r.read_vector<float>();
   ckpt.alpha = AlphaPair::unflatten(r.read_vector<float>(), ckpt.num_edges);
+  if (ckpt.version >= 2) {
+    ckpt.baseline_initialized = r.read<std::uint8_t>() != 0;
+    ckpt.runtime_state = r.read_vector<std::uint8_t>();
+  } else {
+    // v1 files predate the flag; a non-zero baseline implies it was live.
+    ckpt.baseline_initialized = ckpt.baseline != 0.0;
+  }
   FMS_CHECK_MSG(r.exhausted(), "trailing bytes in checkpoint");
   return ckpt;
 }

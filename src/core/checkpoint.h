@@ -13,14 +13,29 @@
 
 namespace fms {
 
+// Version history:
+//   1 — theta + alpha + baseline + round (weights-only snapshot).
+//   2 — adds the REINFORCE baseline's initialization flag and an opaque
+//       runtime-state blob (optimizer momentum, moving-average window,
+//       delay-compensation memory pool, in-flight arrivals, every RNG
+//       stream) produced by FederatedSearch::checkpoint(), enabling
+//       bit-identical crash-recovery. Version-1 files still load; their
+//       runtime state is simply empty (weights-only resume).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
 struct SearchCheckpoint {
-  std::uint32_t version = 1;
+  std::uint32_t version = kCheckpointVersion;
   int num_edges = 0;
   int num_nodes = 0;
   std::vector<float> theta;  // flat supernet values
   AlphaPair alpha;
   double baseline = 0.0;
   int round = 0;
+  // --- version >= 2 ---
+  bool baseline_initialized = false;
+  std::vector<std::uint8_t> runtime_state;  // empty: weights-only checkpoint
+
+  bool has_runtime_state() const { return !runtime_state.empty(); }
 
   std::vector<std::uint8_t> serialize() const;
   static SearchCheckpoint deserialize(const std::vector<std::uint8_t>& bytes);

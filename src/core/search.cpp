@@ -1,14 +1,26 @@
 #include "src/core/search.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "src/common/serialize.h"
 #include "src/nn/optim.h"
 #include "src/obs/span.h"
 #include "src/obs/telemetry.h"
 #include "src/tensor/ops.h"
 
 namespace fms {
+namespace {
+
+// Header of the opaque runtime-state blob inside v2 checkpoints.
+constexpr std::uint32_t kRuntimeMagic = 0x464d5352;  // "FMSR"
+
+}  // namespace
 
 FederatedSearch::FederatedSearch(const SearchConfig& cfg,
                                  const Dataset& train_data,
@@ -59,11 +71,21 @@ std::vector<RoundRecord> FederatedSearch::run_warmup(int steps) {
 
 std::vector<RoundRecord> FederatedSearch::run_search(
     int steps, const SearchOptions& opts) {
+  const bool auto_ckpt =
+      opts.checkpoint_every > 0 && !opts.checkpoint_path.empty();
   std::vector<RoundRecord> records;
   records.reserve(static_cast<std::size_t>(steps));
   for (int s = 0; s < steps; ++s) {
     records.push_back(run_round(round_counter_++, opts));
     if (on_round) on_round(records.back());
+    if (auto_ckpt && round_counter_ % opts.checkpoint_every == 0) {
+      FMS_SPAN("checkpoint");
+      write_checkpoint_file(opts.checkpoint_path, checkpoint());
+      if (obs::telemetry_enabled()) {
+        obs::Telemetry::instance().registry().counter("fms.checkpoints.written")
+            .add(1);
+      }
+    }
   }
   return records;
 }
@@ -75,6 +97,9 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   FMS_SPAN("round");
   RoundRecord rec;
   rec.round = t;
+  const FaultStats stats_before = fault_stats_;
+  const FaultInjector injector(opts.fault_plan, k);
+  const bool faults = injector.active();
 
   // --- sample masks and snapshot state (Alg. 1 lines 4-9) ---
   std::vector<Mask> masks;
@@ -93,7 +118,13 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   }
 
   // --- adaptive transmission (Alg. 1 lines 10-11, Fig. 7) ---
+  // Effective download latency per participant after link faults and the
+  // retransmit-with-backoff defense; infinity marks a dead link.
   std::vector<int> assignment;
+  std::vector<double> latency(static_cast<std::size_t>(k), 0.0);
+  std::vector<char> offline(static_cast<std::size_t>(k), 0);
+  std::vector<char> link_dead(static_cast<std::size_t>(k), 0);
+  std::vector<LinkOutcome> links(static_cast<std::size_t>(k));
   {
     FMS_SPAN("transmit");
     std::vector<std::size_t> model_bytes;
@@ -103,6 +134,8 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     for (int i = 0; i < k; ++i) {
       model_bytes.push_back(
           supernet_->submodel_bytes(masks[static_cast<std::size_t>(i)]));
+      // Traces advance for every participant — offline or not — so a faulty
+      // run stays on the fault-free run's bandwidth trajectory.
       bandwidths.push_back(traces_[static_cast<std::size_t>(i)].next_bps());
     }
     assignment = assign_models(model_bytes, bandwidths, opts.assign, rng_);
@@ -111,6 +144,61 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         opts.assign == AssignStrategy::kAverageSize);
     rec.max_latency_s = lat.max_seconds;
     rec.mean_latency_s = lat.mean_seconds;
+    for (int i = 0; i < k; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (faults && injector.is_offline(i, t)) {
+        offline[ui] = 1;
+        continue;
+      }
+      double li = lat.per_participant[ui];
+      if (faults) {
+        links[ui] = injector.link_outcome(i, t, opts.max_retransmits,
+                                          opts.retransmit_backoff_s);
+        if (!links[ui].delivered) {
+          link_dead[ui] = 1;
+          continue;
+        }
+        li = li / links[ui].bandwidth_scale + links[ui].extra_seconds;
+      }
+      if (!std::isfinite(li)) {  // zero-bandwidth link from the trace itself
+        link_dead[ui] = 1;
+        continue;
+      }
+      latency[ui] = li;
+    }
+  }
+
+  // --- quorum commit (defense): close the round at the ceil(q*K)-th
+  // arrival or the timeout, whichever comes first. Updates expected after
+  // the deadline are "late" and fold into the soft-sync/DC path.
+  double deadline = std::numeric_limits<double>::infinity();
+  {
+    FMS_SPAN("quorum");
+    std::vector<double> cands;
+    cands.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (offline[ui] == 0 && link_dead[ui] == 0) cands.push_back(latency[ui]);
+    }
+    std::sort(cands.begin(), cands.end());
+    const auto q_need = static_cast<std::size_t>(
+        std::ceil(opts.quorum * static_cast<double>(k)));
+    if (!cands.empty()) {
+      deadline = cands.size() >= q_need && q_need > 0 ? cands[q_need - 1]
+                                                      : cands.back();
+    }
+    if (opts.round_timeout_s > 0.0) {
+      deadline = std::min(deadline, opts.round_timeout_s);
+    }
+    std::size_t on_time = 0;
+    for (double c : cands) {
+      if (c <= deadline + 1e-12) ++on_time;
+    }
+    rec.partial_quorum = on_time < q_need;
+    rec.commit_latency_s =
+        std::isfinite(deadline)
+            ? deadline
+            : (cands.empty() ? 0.0 : cands.back());
   }
 
   // --- dispatch, local training, delayed arrival (lines 12-15) ---
@@ -131,7 +219,47 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     down_hist = &reg.histogram("fms.participant.bytes_down", byte_bounds);
     up_hist = &reg.histogram("fms.participant.bytes_up", byte_bounds);
   }
+  // Classifies the outcome of a payload fault attached to an update that
+  // never gets applied (the third outcome, "recovered", is recorded at
+  // apply time in the arrivals loop below).
+  auto account_payload_drop = [&](const std::optional<FaultKind>& pf) {
+    if (pf.has_value()) ++fault_stats_.dropped;
+  };
   for (int i = 0; i < k; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    // Staleness draws happen for every participant — even offline ones —
+    // so faulty and fault-free runs consume the same staleness stream.
+    const int tau_draw = soft_sync ? opts.staleness.sample(staleness_rng_) : 0;
+    if (offline[ui] != 0) {
+      ++rec.offline;
+      if (injector.is_crashed(i, t)) {
+        ++fault_stats_.injected_crash;
+      } else {
+        ++fault_stats_.injected_dropout;
+      }
+      ++fault_stats_.dropped;  // no reply ever arrives
+      continue;
+    }
+    if (links[ui].faulted()) {
+      ++fault_stats_.injected_link;
+      fault_stats_.retransmits += static_cast<std::uint64_t>(
+          links[ui].retransmits);
+      rec.retransmits += links[ui].retransmits;
+      if (link_dead[ui] != 0) {
+        ++fault_stats_.dropped;  // every attempt failed
+      } else {
+        ++fault_stats_.recovered;  // retransmit/collapse absorbed the fault
+      }
+    }
+    if (link_dead[ui] != 0) {
+      // Dead link: the download never lands, so no payload is built and no
+      // bytes are charged — the server simply skips this participant.
+      ++rec.dropped;
+      continue;
+    }
+    const std::optional<FaultKind> pf =
+        faults ? injector.payload_fault(i, t) : std::nullopt;
+
     const Mask& mask = masks[static_cast<std::size_t>(assignment[i])];
     SubmodelMsg msg;
     msg.round = t;
@@ -144,23 +272,48 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         msg.values = codec_round_trip(msg.values, opts.codec);
       }
     }
+    if (pf == FaultKind::kCorruptPayload) {
+      // One corruption event flips bits on the wire in both directions:
+      // the SubmodelMsg the client trains on and the UpdateMsg it returns.
+      ++fault_stats_.injected_corrupt;
+      injector.corrupt(msg.values, i, t);
+    }
     const std::size_t down = payload_bytes(mask, msg.values.size());
     rec.bytes_down += down;
     submodel_bytes_sum_ += down;
     ++submodel_count_;
     if (down_hist != nullptr) down_hist->observe(static_cast<double>(down));
 
-    UpdateMsg upd = participants_[static_cast<std::size_t>(i)]->train_step(msg);
+    UpdateMsg upd = participants_[ui]->train_step(msg);
     if (opts.codec != Codec::kFloat32) {
       upd.grads = codec_round_trip(upd.grads, opts.codec);
+    }
+    if (pf == FaultKind::kDivergent) {
+      ++fault_stats_.injected_divergent;
+      injector.poison(upd, i, t);
+    } else if (pf == FaultKind::kCorruptPayload) {
+      injector.corrupt(upd.grads, i, t);
     }
     const std::size_t up = payload_bytes(upd.mask, upd.grads.size()) + 8;
     rec.bytes_up += up;
     if (up_hist != nullptr) up_hist->observe(static_cast<double>(up));
 
-    const int tau = soft_sync ? opts.staleness.sample(staleness_rng_) : 0;
+    int tau = tau_draw;
+    if (latency[ui] > deadline + 1e-12) {
+      // Missed the quorum commit: fold into the soft-sync path one round
+      // late at minimum; hard sync has no stale path, so the update drops.
+      ++rec.late;
+      if (soft_sync) {
+        if (tau != kExceedsThreshold) tau = std::max(tau, 1);
+      } else {
+        ++rec.dropped;
+        account_payload_drop(pf);
+        continue;
+      }
+    }
     if (tau == kExceedsThreshold || tau > pool_.threshold()) {
       ++rec.dropped;  // beyond the staleness threshold: never applied
+      account_payload_drop(pf);
       continue;
     }
     arrivals_[t + tau].push_back(std::move(upd));
@@ -187,6 +340,27 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       for (UpdateMsg& upd : due->second) {
         const int tau = t - upd.round;
         if (tau_hist != nullptr) tau_hist->observe(static_cast<double>(tau));
+        // The injector is stateless, so the payload fault attached to this
+        // update (possibly from an earlier round) is re-derived, not stored.
+        const std::optional<FaultKind> pf =
+            faults ? injector.payload_fault(upd.participant, upd.round)
+                   : std::nullopt;
+        if (opts.screen_updates) {
+          // Defense: reject poisoned/corrupted updates before they can
+          // reach theta, alpha, or the REINFORCE baseline.
+          const char* violation =
+              screen_update(upd, opts.screen_max_grad_norm);
+          if (violation != nullptr) {
+            ++rec.rejected;
+            if (pf.has_value()) ++fault_stats_.rejected;
+            if (telemetry) {
+              obs::Telemetry::instance().registry()
+                  .counter(std::string("fms.updates.rejected.") + violation)
+                  .add(1);
+            }
+            continue;
+          }
+        }
         std::vector<float> grads;
         AlphaPair dlogp = AlphaPair::zeros(policy_.num_edges());
         if (tau == 0) {
@@ -195,11 +369,13 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         } else {
           if (opts.stale_policy == StalePolicy::kDrop) {
             ++rec.dropped;
+            if (pf.has_value()) ++fault_stats_.dropped;
             continue;
           }
           const RoundSnapshot* snap = pool_.find(upd.round);
           if (snap == nullptr) {  // evicted: nothing to compensate against
             ++rec.dropped;
+            if (pf.has_value()) ++fault_stats_.dropped;
             continue;
           }
           if (opts.stale_policy == StalePolicy::kUseStale) {
@@ -227,6 +403,9 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         alpha_terms.emplace_back(upd.reward, std::move(dlogp));
         reward_sum += upd.reward;
         ++m;
+        // A faulted payload that survived screening and got applied was
+        // absorbed by training — the third and final outcome.
+        if (pf.has_value()) ++fault_stats_.recovered;
       }
       arrivals_.erase(due);
     }
@@ -264,7 +443,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   rec.baseline = policy_.baseline();
 
   if (soft_sync) pool_.evict(t);
-  if (telemetry) record_round_telemetry(rec, opts);
+  if (telemetry) record_round_telemetry(rec, opts, stats_before);
   return rec;
 }
 
@@ -272,7 +451,8 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
 // structured "round" trace event — everything the paper's systems curves
 // (Figs. 7-8, Table V) are plotted from.
 void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
-                                             const SearchOptions& opts) {
+                                             const SearchOptions& opts,
+                                             const FaultStats& before) {
   obs::Telemetry& telemetry = obs::Telemetry::instance();
   obs::MetricsRegistry& reg = telemetry.registry();
 
@@ -284,6 +464,42 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
   reg.counter("fms.bytes.down").add(rec.bytes_down);
   reg.counter("fms.bytes.up").add(rec.bytes_up);
   reg.counter("fms.rounds").add(1);
+
+  // Fault-tolerance counters: this round's deltas of the cumulative ledger.
+  auto add_delta = [&reg](const char* name, std::uint64_t now,
+                          std::uint64_t prev) {
+    if (now > prev) reg.counter(name).add(now - prev);
+  };
+  add_delta("fms.fault.injected.crash", fault_stats_.injected_crash,
+            before.injected_crash);
+  add_delta("fms.fault.injected.dropout", fault_stats_.injected_dropout,
+            before.injected_dropout);
+  add_delta("fms.fault.injected.link", fault_stats_.injected_link,
+            before.injected_link);
+  add_delta("fms.fault.injected.corrupt", fault_stats_.injected_corrupt,
+            before.injected_corrupt);
+  add_delta("fms.fault.injected.divergent", fault_stats_.injected_divergent,
+            before.injected_divergent);
+  add_delta("fms.fault.rejected", fault_stats_.rejected, before.rejected);
+  add_delta("fms.fault.dropped", fault_stats_.dropped, before.dropped);
+  add_delta("fms.fault.recovered", fault_stats_.recovered, before.recovered);
+  if (rec.rejected > 0) {
+    reg.counter("fms.updates.rejected")
+        .add(static_cast<std::uint64_t>(rec.rejected));
+  }
+  if (rec.late > 0) {
+    reg.counter("fms.updates.late").add(static_cast<std::uint64_t>(rec.late));
+  }
+  if (rec.offline > 0) {
+    reg.counter("fms.participants.offline")
+        .add(static_cast<std::uint64_t>(rec.offline));
+  }
+  if (rec.retransmits > 0) {
+    reg.counter("fms.retransmits")
+        .add(static_cast<std::uint64_t>(rec.retransmits));
+  }
+  if (rec.partial_quorum) reg.counter("fms.rounds.partial_quorum").add(1);
+  reg.histogram("fms.round.commit_latency_s").observe(rec.commit_latency_s);
 
   reg.gauge("fms.policy.baseline").set(rec.baseline);
   reg.gauge("fms.alpha.entropy.mean").set(rec.alpha_entropy);
@@ -326,8 +542,166 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
       {"alpha_entropy", rec.alpha_entropy},
       {"baseline", rec.baseline},
       {"dc_lambda", static_cast<double>(opts.dc_lambda)},
+      {"offline", static_cast<double>(rec.offline)},
+      {"rejected", static_cast<double>(rec.rejected)},
+      {"late", static_cast<double>(rec.late)},
+      {"retransmits", static_cast<double>(rec.retransmits)},
+      {"partial_quorum", rec.partial_quorum ? 1.0 : 0.0},
+      {"commit_latency_s", rec.commit_latency_s},
   };
   telemetry.emit(std::move(event));
+}
+
+SearchCheckpoint FederatedSearch::checkpoint() {
+  SearchCheckpoint ckpt =
+      make_checkpoint(*supernet_, policy_, cfg_.supernet.num_nodes,
+                      round_counter_);
+  ckpt.baseline_initialized = policy_.baseline_initialized();
+  ckpt.runtime_state = serialize_runtime_state();
+  return ckpt;
+}
+
+void FederatedSearch::restore(const SearchCheckpoint& ckpt) {
+  FMS_CHECK_MSG(ckpt.num_nodes == cfg_.supernet.num_nodes,
+                "checkpoint node count " << ckpt.num_nodes
+                                         << " != configured "
+                                         << cfg_.supernet.num_nodes);
+  restore_checkpoint(ckpt, *supernet_, policy_);
+  policy_.restore_baseline(ckpt.baseline, ckpt.baseline_initialized);
+  round_counter_ = ckpt.round;
+  if (ckpt.has_runtime_state()) restore_runtime_state(ckpt.runtime_state);
+}
+
+std::vector<std::uint8_t> FederatedSearch::serialize_runtime_state() const {
+  ByteWriter w;
+  w.write(kRuntimeMagic);
+  w.write(round_counter_);
+  w.write(static_cast<std::uint64_t>(total_bytes_down_));
+  w.write(static_cast<std::uint64_t>(total_bytes_up_));
+  w.write(static_cast<std::uint64_t>(submodel_bytes_sum_));
+  w.write(static_cast<std::uint64_t>(submodel_count_));
+  // Fault ledger, so resumed campaigns keep the accounting invariant exact.
+  w.write(fault_stats_);
+  // Every RNG stream: the server's two, each participant's, each trace's.
+  w.write_string(rng_.save_state());
+  w.write_string(staleness_rng_.save_state());
+  w.write(static_cast<std::uint32_t>(participants_.size()));
+  for (const auto& p : participants_) {
+    w.write_string(p->rng_state());
+    // Mid-epoch batch iteration state.
+    w.write_vector(p->shard().epoch_order());
+    w.write(static_cast<std::uint64_t>(p->shard().epoch_cursor()));
+  }
+  w.write(static_cast<std::uint32_t>(traces_.size()));
+  for (const auto& tr : traces_) {
+    w.write_string(tr.rng_state());
+    w.write(tr.state_mbps());  // AR(1) filter state
+  }
+  // Optimizer momentum (empty means no step has been taken yet).
+  const auto& vel = theta_opt_.velocity();
+  w.write(static_cast<std::uint32_t>(vel.size()));
+  for (const auto& v : vel) w.write_vector(v);
+  // Moving-average window. The rolling sum and rebuild phase carry
+  // float-rounding state, so they are persisted verbatim rather than
+  // recomputed — recomputation would diverge from an uninterrupted run.
+  const std::deque<double>& mv = moving_.values();
+  w.write_vector(std::vector<double>(mv.begin(), mv.end()));
+  w.write(moving_.raw_sum());
+  w.write(static_cast<std::uint64_t>(moving_.rebuild_counter()));
+  // Delay-compensation memory pool snapshots.
+  w.write(static_cast<std::uint32_t>(pool_.snapshots().size()));
+  for (const auto& [round, snap] : pool_.snapshots()) {
+    w.write(round);
+    w.write_vector(snap.theta);
+    w.write_vector(snap.alpha.flatten());
+    w.write(static_cast<std::uint32_t>(snap.masks.size()));
+    for (const Mask& m : snap.masks) {
+      w.write_vector(m.normal);
+      w.write_vector(m.reduce);
+    }
+  }
+  // In-flight (not yet arrived) updates.
+  w.write(static_cast<std::uint32_t>(arrivals_.size()));
+  for (const auto& [round, updates] : arrivals_) {
+    w.write(round);
+    w.write(static_cast<std::uint32_t>(updates.size()));
+    for (const UpdateMsg& u : updates) w.write_vector(u.serialize());
+  }
+  return w.take();
+}
+
+void FederatedSearch::restore_runtime_state(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  FMS_CHECK_MSG(r.read<std::uint32_t>() == kRuntimeMagic,
+                "corrupt runtime state (bad magic)");
+  round_counter_ = r.read<int>();
+  total_bytes_down_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  total_bytes_up_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  submodel_bytes_sum_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  submodel_count_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  fault_stats_ = r.read<FaultStats>();
+  rng_.load_state(r.read_string());
+  staleness_rng_.load_state(r.read_string());
+  const auto np = r.read<std::uint32_t>();
+  FMS_CHECK_MSG(np == participants_.size(),
+                "checkpoint has " << np << " participants, search has "
+                                  << participants_.size());
+  for (auto& p : participants_) {
+    p->set_rng_state(r.read_string());
+    std::vector<int> order = r.read_vector<int>();
+    const auto cursor = r.read<std::uint64_t>();
+    p->shard().restore_epoch(std::move(order),
+                             static_cast<std::size_t>(cursor));
+  }
+  const auto nt = r.read<std::uint32_t>();
+  FMS_CHECK_MSG(nt == traces_.size(), "checkpoint trace count mismatch");
+  for (auto& tr : traces_) {
+    tr.set_rng_state(r.read_string());
+    tr.set_state_mbps(r.read<double>());
+  }
+  const auto nv = r.read<std::uint32_t>();
+  std::vector<std::vector<float>> vel(nv);
+  for (auto& v : vel) v = r.read_vector<float>();
+  FMS_CHECK_MSG(vel.empty() || vel.size() == supernet_->params().size(),
+                "optimizer state tensor count mismatch");
+  theta_opt_.set_velocity(std::move(vel));
+  const std::vector<double> window_vals = r.read_vector<double>();
+  const double window_sum = r.read<double>();
+  const auto window_rebuild = r.read<std::uint64_t>();
+  moving_.restore(std::deque<double>(window_vals.begin(), window_vals.end()),
+                  window_sum, static_cast<std::size_t>(window_rebuild));
+  std::map<int, RoundSnapshot> snaps;
+  const auto ns = r.read<std::uint32_t>();
+  for (std::uint32_t s = 0; s < ns; ++s) {
+    const int round = r.read<int>();
+    RoundSnapshot snap;
+    snap.theta = r.read_vector<float>();
+    FMS_CHECK_MSG(snap.theta.size() == supernet_->param_count(),
+                  "pool snapshot theta shape mismatch");
+    snap.alpha =
+        AlphaPair::unflatten(r.read_vector<float>(), policy_.num_edges());
+    const auto nm = r.read<std::uint32_t>();
+    for (std::uint32_t j = 0; j < nm; ++j) {
+      Mask m;
+      m.normal = r.read_vector<int>();
+      m.reduce = r.read_vector<int>();
+      snap.masks.push_back(std::move(m));
+    }
+    snaps.emplace(round, std::move(snap));
+  }
+  pool_.restore(std::move(snaps));
+  arrivals_.clear();
+  const auto na = r.read<std::uint32_t>();
+  for (std::uint32_t a = 0; a < na; ++a) {
+    const int round = r.read<int>();
+    const auto nu = r.read<std::uint32_t>();
+    auto& updates = arrivals_[round];
+    for (std::uint32_t u = 0; u < nu; ++u) {
+      updates.push_back(UpdateMsg::deserialize(r.read_vector<std::uint8_t>()));
+    }
+  }
+  FMS_CHECK_MSG(r.exhausted(), "trailing bytes in runtime state");
 }
 
 Genotype FederatedSearch::derive() const {

@@ -19,8 +19,10 @@
 
 #include "src/common/config.h"
 #include "src/common/stats.h"
+#include "src/core/checkpoint.h"
 #include "src/data/dataset.h"
 #include "src/dc/compensation.h"
+#include "src/fault/fault.h"
 #include "src/fed/compression.h"
 #include "src/fed/participant.h"
 #include "src/net/trace.h"
@@ -40,6 +42,32 @@ struct SearchOptions {
   // Lossy payload compression applied to sub-model downloads and gradient
   // uploads; the quantization noise flows through training.
   Codec codec = Codec::kFloat32;
+
+  // --- fault injection + server-side defenses ---
+  // Deterministic fault schedule; an empty plan injects nothing.
+  FaultPlan fault_plan;
+  // Quorum-based round commit: the round closes once ceil(quorum * K)
+  // updates have arrived, or — when round_timeout_s > 0 — at the timeout,
+  // whichever is earlier. Stragglers past the deadline fold into the
+  // soft-sync/DC path with staleness >= 1 (or are dropped under hard
+  // sync). quorum = 1 with no timeout reproduces classic full-sync rounds.
+  double quorum = 1.0;
+  double round_timeout_s = 0.0;  // 0 disables the timeout
+  // Bounded retransmit-with-backoff for failed downloads: up to
+  // max_retransmits retries, the n-th delayed by retransmit_backoff_s*2^n.
+  int max_retransmits = 2;
+  double retransmit_backoff_s = 0.5;
+  // Update screening: reject non-finite rewards/losses/gradients and
+  // gradient norms above screen_max_grad_norm before they can poison
+  // theta, alpha, or the REINFORCE baseline. The default bound is far
+  // above anything benign training produces, so screening is on by
+  // default without perturbing fault-free runs.
+  bool screen_updates = true;
+  float screen_max_grad_norm = 1e4F;  // <= 0 disables the norm bound
+  // Auto-checkpoint cadence (crash-recovery): every checkpoint_every
+  // rounds the full search state is written to checkpoint_path.
+  int checkpoint_every = 0;  // 0 disables
+  std::string checkpoint_path;
 };
 
 struct RoundRecord {
@@ -62,6 +90,13 @@ struct RoundRecord {
   // Search-semantic gauges the paper's curves need.
   double alpha_entropy = 0.0;  // mean per-edge policy entropy (nats)
   double baseline = 0.0;       // REINFORCE moving-average baseline (Eq. 9)
+  // Fault-tolerance observability.
+  int offline = 0;       // participants crashed or dropped out this round
+  int rejected = 0;      // updates rejected by screening
+  int late = 0;          // updates past the quorum commit deadline
+  int retransmits = 0;   // link retries performed this round
+  bool partial_quorum = false;   // committed with fewer than ceil(q*K) on time
+  double commit_latency_s = 0.0;  // simulated time at which the round closed
 };
 
 class FederatedSearch {
@@ -91,13 +126,29 @@ class FederatedSearch {
   std::size_t total_bytes_down() const { return total_bytes_down_; }
   std::size_t total_bytes_up() const { return total_bytes_up_; }
 
+  // Crash-recovery. checkpoint() captures the complete search state —
+  // weights, alpha, baseline, optimizer momentum, moving-average window,
+  // DC memory pool, in-flight arrivals, and every RNG stream — so that a
+  // restore()d search replays the exact RoundRecord stream an
+  // uninterrupted run would have produced (bit-identical, same seeds).
+  SearchCheckpoint checkpoint();
+  // Accepts v1 (weights-only) checkpoints too; those resume the weights
+  // and round counter but not the runtime streams.
+  void restore(const SearchCheckpoint& ckpt);
+
+  // Cumulative fault ledger across all rounds run so far. Invariant:
+  // injected_total() == rejected + dropped + recovered.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   // Optional per-round observer (progress logging in examples/benches).
   std::function<void(const RoundRecord&)> on_round;
 
  private:
   RoundRecord run_round(int t, const SearchOptions& opts);
-  void record_round_telemetry(const RoundRecord& rec,
-                              const SearchOptions& opts);
+  void record_round_telemetry(const RoundRecord& rec, const SearchOptions& opts,
+                              const FaultStats& before);
+  std::vector<std::uint8_t> serialize_runtime_state() const;
+  void restore_runtime_state(const std::vector<std::uint8_t>& bytes);
 
   SearchConfig cfg_;
   Rng rng_;
@@ -114,6 +165,7 @@ class FederatedSearch {
   MemoryPool pool_;
   std::map<int, std::vector<UpdateMsg>> arrivals_;
   WindowAverage moving_;
+  FaultStats fault_stats_;
   int round_counter_ = 0;
   std::size_t total_bytes_down_ = 0;
   std::size_t total_bytes_up_ = 0;

@@ -9,6 +9,7 @@
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/config.h"
@@ -76,6 +77,18 @@ class Shard {
 
   // Label histogram — used by tests to verify non-i.i.d. skew.
   std::vector<int> label_histogram() const;
+
+  // Epoch-iteration state (shuffled order + cursor) snapshot/restore, so a
+  // resumed federated search continues mid-epoch exactly where it stopped.
+  const std::vector<int>& epoch_order() const { return order_; }
+  std::size_t epoch_cursor() const { return cursor_; }
+  void restore_epoch(std::vector<int> order, std::size_t cursor) {
+    FMS_CHECK_MSG(cursor <= order.size(), "shard cursor past epoch end");
+    FMS_CHECK_MSG(order.empty() || order.size() == indices_.size(),
+                  "shard epoch order size mismatch");
+    order_ = std::move(order);
+    cursor_ = cursor;
+  }
 
  private:
   const Dataset* data_ = nullptr;

@@ -63,6 +63,13 @@ class MemoryPool {
   int threshold() const { return threshold_; }
   std::size_t size() const { return snapshots_.size(); }
 
+  // Full-pool snapshot/restore for crash-recovery: in-flight stale updates
+  // reference these rounds, so a resumed search needs the identical pool.
+  const std::map<int, RoundSnapshot>& snapshots() const { return snapshots_; }
+  void restore(std::map<int, RoundSnapshot> snapshots) {
+    snapshots_ = std::move(snapshots);
+  }
+
  private:
   int threshold_;
   std::map<int, RoundSnapshot> snapshots_;

@@ -1,0 +1,294 @@
+#include "src/fault/fault.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace fms {
+namespace {
+
+// Decision-stream salts: each fault family draws from its own hash stream
+// so tuning one probability never reshuffles another family's schedule.
+constexpr std::uint64_t kSaltCrashSelect = 0xC1;
+constexpr std::uint64_t kSaltCrashRound = 0xC2;
+constexpr std::uint64_t kSaltDropout = 0xD0;
+constexpr std::uint64_t kSaltLink = 0x11;
+constexpr std::uint64_t kSaltCollapse = 0xB0;
+constexpr std::uint64_t kSaltCorrupt = 0xC0;
+constexpr std::uint64_t kSaltCorruptBits = 0xCB;
+constexpr std::uint64_t kSaltDivergentSelect = 0xF0;
+constexpr std::uint64_t kSaltDivergent = 0xF1;
+constexpr std::uint64_t kSaltPoisonMode = 0xF2;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                  std::uint64_t b) {
+  std::uint64_t h = splitmix64(seed ^ salt);
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  return h;
+}
+
+double to_u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    FMS_CHECK_MSG(used == value.size() && std::isfinite(v),
+                  "bad fault-plan value for " << key << ": '" << value << "'");
+    return v;
+  } catch (const CheckError&) {
+    throw;
+  } catch (...) {
+    throw CheckError("bad fault-plan value for " + key + ": '" + value + "'");
+  }
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  FMS_CHECK_MSG(v >= 0.0 && v <= 1.0,
+                "fault-plan " << key << " must be in [0, 1], got " << v);
+  return v;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kLinkFailure: return "link_failure";
+    case FaultKind::kBandwidthCollapse: return "bandwidth_collapse";
+    case FaultKind::kCorruptPayload: return "corrupt_payload";
+    case FaultKind::kDivergent: return "divergent";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::empty() const {
+  return crash_fraction <= 0.0 && dropout_p <= 0.0 && link_failure_p <= 0.0 &&
+         collapse_p <= 0.0 && corrupt_p <= 0.0 && divergent_fraction <= 0.0;
+}
+
+FaultPlan FaultPlan::severe(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.crash_fraction = 0.3;
+  plan.crash_round = 0;
+  plan.crash_spread = 10;
+  plan.corrupt_p = 0.1;
+  plan.divergent_fraction = 0.2;
+  plan.divergent_p = 0.5;
+  plan.link_failure_p = 0.1;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    FMS_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "fault-plan entry '" << item << "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "crash") {
+      plan.crash_fraction = parse_prob(key, value);
+    } else if (key == "crash_round") {
+      plan.crash_round = static_cast<int>(parse_double(key, value));
+    } else if (key == "crash_spread") {
+      plan.crash_spread = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.crash_spread >= 0, "crash_spread must be >= 0");
+    } else if (key == "dropout") {
+      plan.dropout_p = parse_prob(key, value);
+    } else if (key == "dropout_rounds") {
+      plan.dropout_rounds = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.dropout_rounds >= 1, "dropout_rounds must be >= 1");
+    } else if (key == "link") {
+      plan.link_failure_p = parse_prob(key, value);
+    } else if (key == "collapse") {
+      plan.collapse_p = parse_prob(key, value);
+    } else if (key == "collapse_factor") {
+      plan.collapse_factor = parse_double(key, value);
+      FMS_CHECK_MSG(plan.collapse_factor > 0.0 && plan.collapse_factor <= 1.0,
+                    "collapse_factor must be in (0, 1]");
+    } else if (key == "corrupt") {
+      plan.corrupt_p = parse_prob(key, value);
+    } else if (key == "corrupt_bits") {
+      plan.corrupt_bits = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.corrupt_bits >= 1, "corrupt_bits must be >= 1");
+    } else if (key == "divergent") {
+      plan.divergent_fraction = parse_prob(key, value);
+    } else if (key == "divergent_p") {
+      plan.divergent_p = parse_prob(key, value);
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_double(key, value));
+    } else {
+      throw CheckError("unknown fault-plan key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "crash=" << crash_fraction << ",crash_round=" << crash_round
+     << ",crash_spread=" << crash_spread << ",dropout=" << dropout_p
+     << ",dropout_rounds=" << dropout_rounds << ",link=" << link_failure_p
+     << ",collapse=" << collapse_p << ",collapse_factor=" << collapse_factor
+     << ",corrupt=" << corrupt_p << ",corrupt_bits=" << corrupt_bits
+     << ",divergent=" << divergent_fraction << ",divergent_p=" << divergent_p
+     << ",seed=" << seed;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_participants)
+    : plan_(plan), num_participants_(num_participants) {
+  FMS_CHECK_MSG(num_participants > 0, "injector needs participants");
+}
+
+double FaultInjector::u01(std::uint64_t salt, std::uint64_t a,
+                          std::uint64_t b) const {
+  return to_u01(mix(plan_.seed, salt, a, b));
+}
+
+bool FaultInjector::is_crashed(int participant, int round) const {
+  if (plan_.crash_fraction <= 0.0) return false;
+  const auto p = static_cast<std::uint64_t>(participant);
+  if (u01(kSaltCrashSelect, p, 0) >= plan_.crash_fraction) return false;
+  const int at = plan_.crash_round +
+                 static_cast<int>(u01(kSaltCrashRound, p, 0) *
+                                  (plan_.crash_spread + 1));
+  return round >= at;
+}
+
+bool FaultInjector::is_dropped_out(int participant, int round) const {
+  if (plan_.dropout_p <= 0.0) return false;
+  const auto p = static_cast<std::uint64_t>(participant);
+  for (int r = round - plan_.dropout_rounds + 1; r <= round; ++r) {
+    if (r < 0) continue;
+    if (u01(kSaltDropout, p, static_cast<std::uint64_t>(r)) < plan_.dropout_p) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LinkOutcome FaultInjector::link_outcome(int participant, int round,
+                                        int max_retransmits,
+                                        double backoff_s) const {
+  LinkOutcome out;
+  if (plan_.link_failure_p <= 0.0 && plan_.collapse_p <= 0.0) return out;
+  const auto p = static_cast<std::uint64_t>(participant);
+  const auto r = static_cast<std::uint64_t>(round);
+  double backoff = backoff_s;
+  for (int attempt = 0; attempt <= max_retransmits; ++attempt) {
+    const std::uint64_t word = r * 64 + static_cast<std::uint64_t>(attempt);
+    if (u01(kSaltLink, p, word) < plan_.link_failure_p) {
+      if (attempt == max_retransmits) {
+        out.delivered = false;
+        return out;
+      }
+      ++out.retransmits;
+      out.extra_seconds += backoff;
+      backoff *= 2.0;  // exponential backoff between retries
+      continue;
+    }
+    break;
+  }
+  if (plan_.collapse_p > 0.0 && u01(kSaltCollapse, p, r) < plan_.collapse_p) {
+    out.bandwidth_scale = plan_.collapse_factor;
+  }
+  return out;
+}
+
+std::optional<FaultKind> FaultInjector::payload_fault(int participant,
+                                                      int round) const {
+  const auto p = static_cast<std::uint64_t>(participant);
+  const auto r = static_cast<std::uint64_t>(round);
+  if (plan_.divergent_fraction > 0.0 &&
+      u01(kSaltDivergentSelect, p, 0) < plan_.divergent_fraction &&
+      u01(kSaltDivergent, p, r) < plan_.divergent_p) {
+    return FaultKind::kDivergent;
+  }
+  if (plan_.corrupt_p > 0.0 && u01(kSaltCorrupt, p, r) < plan_.corrupt_p) {
+    return FaultKind::kCorruptPayload;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::corrupt(std::vector<float>& values, int participant,
+                            int round) const {
+  if (values.empty()) return;
+  Rng rng(mix(plan_.seed, kSaltCorruptBits,
+              static_cast<std::uint64_t>(participant),
+              static_cast<std::uint64_t>(round)));
+  for (int i = 0; i < plan_.corrupt_bits; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<int>(values.size()) - 1));
+    const int bit = rng.randint(0, 31);
+    std::uint32_t word;
+    std::memcpy(&word, &values[idx], sizeof(word));
+    word ^= (1U << bit);
+    std::memcpy(&values[idx], &word, sizeof(word));
+  }
+}
+
+void FaultInjector::poison(UpdateMsg& upd, int participant, int round) const {
+  const std::uint64_t mode = mix(plan_.seed, kSaltPoisonMode,
+                                 static_cast<std::uint64_t>(participant),
+                                 static_cast<std::uint64_t>(round)) %
+                             3;
+  switch (mode) {
+    case 0:  // NaN gradients, NaN reward
+      for (std::size_t i = 0; i < upd.grads.size(); i += 3) {
+        upd.grads[i] = std::numeric_limits<float>::quiet_NaN();
+      }
+      upd.reward = std::numeric_limits<float>::quiet_NaN();
+      break;
+    case 1:  // Inf gradients, Inf loss
+      for (std::size_t i = 0; i < upd.grads.size(); i += 3) {
+        upd.grads[i] = std::numeric_limits<float>::infinity();
+      }
+      upd.loss = std::numeric_limits<float>::infinity();
+      break;
+    default:  // exploding but finite gradients, out-of-range reward
+      for (float& g : upd.grads) g = g * 1e12F + 1e8F;
+      upd.reward = 1e6F;
+      break;
+  }
+}
+
+const char* screen_update(const UpdateMsg& upd, float max_grad_norm) {
+  if (!std::isfinite(upd.reward) || upd.reward < 0.0F || upd.reward > 1.0F) {
+    return "reward_out_of_range";
+  }
+  if (!std::isfinite(upd.loss)) return "loss_not_finite";
+  double sq = 0.0;
+  for (const float g : upd.grads) {
+    if (!std::isfinite(g)) return "grad_not_finite";
+    sq += static_cast<double>(g) * g;
+  }
+  if (max_grad_norm > 0.0F &&
+      sq > static_cast<double>(max_grad_norm) * max_grad_norm) {
+    return "grad_norm_outlier";
+  }
+  return nullptr;
+}
+
+}  // namespace fms

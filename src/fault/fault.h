@@ -1,0 +1,151 @@
+// Deterministic fault injection for the federated search substrate.
+//
+// The paper's setting — phones on 4G links running a shared search — fails
+// in ways the benign simulator (src/sim, src/net) never produces: devices
+// crash and never reply, links die mid-round, payloads arrive corrupted,
+// and divergent clients emit NaN/Inf or exploding gradients. This module
+// *schedules* those faults and the server loop (src/core/search.cpp)
+// *defends* against them, so the robustness claims are tested rather than
+// assumed.
+//
+// Every decision is a pure function of (plan seed, participant, round,
+// attempt): the injector carries no evolving RNG state. That makes fault
+// campaigns reproducible byte-for-byte, independent of query order, and —
+// critically for crash-recovery — means a resumed search re-derives the
+// exact same fault schedule without checkpointing injector state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fed/messages.h"
+
+namespace fms {
+
+enum class FaultKind {
+  kCrash,         // participant goes dark permanently (no reply ever)
+  kDropout,       // participant offline for a few rounds, then recovers
+  kLinkFailure,   // download attempt fails; retransmit may recover it
+  kBandwidthCollapse,  // link survives but at a fraction of its bandwidth
+  kCorruptPayload,     // bit flips in SubmodelMsg / UpdateMsg buffers
+  kDivergent,     // client emits NaN/Inf or exploding gradients + rewards
+};
+
+const char* fault_kind_name(FaultKind k);
+
+// Declarative fault schedule. All probabilities are per-decision (per
+// participant-round or per transmission attempt); fractions select a fixed
+// deterministic subset of the fleet. An all-zero plan injects nothing and
+// the search takes its fault-free fast path.
+struct FaultPlan {
+  double crash_fraction = 0.0;   // fraction of participants that crash...
+  int crash_round = 0;           // ...at a round drawn from
+  int crash_spread = 0;          // [crash_round, crash_round + crash_spread]
+  double dropout_p = 0.0;        // P(transient dropout starts) per round
+  int dropout_rounds = 2;        // rounds offline before recovery
+  double link_failure_p = 0.0;   // P(a download attempt fails)
+  double collapse_p = 0.0;       // P(bandwidth collapses) per round
+  double collapse_factor = 0.05; // surviving bandwidth fraction
+  double corrupt_p = 0.0;        // P(payload bit flips) per update
+  int corrupt_bits = 8;          // flipped bits per corrupted payload
+  double divergent_fraction = 0.0;  // fraction of clients that diverge...
+  double divergent_p = 0.5;         // ...poisoning each update with this P
+  std::uint64_t seed = 0x7a0175;
+
+  bool empty() const;
+
+  // Reference campaign of the acceptance bar: 30% crashed participants,
+  // corrupted payloads, and NaN/exploding-gradient clients.
+  static FaultPlan severe(std::uint64_t seed = 0x7a0175);
+
+  // Parses "key=value" pairs separated by commas, e.g.
+  //   "crash=0.3,crash_round=5,corrupt=0.2,divergent=0.3,link=0.1,seed=7"
+  // Keys: crash, crash_round, crash_spread, dropout, dropout_rounds, link,
+  // collapse, collapse_factor, corrupt, corrupt_bits, divergent,
+  // divergent_p, seed. Throws CheckError on unknown keys or bad values.
+  static FaultPlan parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// Outcome of the download-link simulation for one participant-round,
+// including bounded retransmit-with-backoff (defense lives here so the
+// latency model and the search loop agree on attempt accounting).
+struct LinkOutcome {
+  bool delivered = true;       // false: every attempt failed, link is dead
+  int retransmits = 0;         // retries beyond the first attempt
+  double extra_seconds = 0.0;  // accumulated backoff delay
+  double bandwidth_scale = 1.0;  // collapse factor on the delivering attempt
+  bool faulted() const {
+    return !delivered || retransmits > 0 || bandwidth_scale < 1.0;
+  }
+};
+
+// Ledger of injected faults and their resolutions. The invariant the
+// acceptance test checks: every injected fault is accounted for exactly
+// once, i.e. injected_total() == rejected + dropped + recovered.
+struct FaultStats {
+  std::uint64_t injected_crash = 0;
+  std::uint64_t injected_dropout = 0;
+  std::uint64_t injected_link = 0;
+  std::uint64_t injected_corrupt = 0;
+  std::uint64_t injected_divergent = 0;
+  std::uint64_t rejected = 0;   // caught by update screening
+  std::uint64_t dropped = 0;    // update never applied (offline, dead link,
+                                // staleness overflow, evicted snapshot)
+  std::uint64_t recovered = 0;  // retransmit succeeded / fault absorbed
+  std::uint64_t retransmits = 0;  // individual retries (not in the equation)
+
+  std::uint64_t injected_total() const {
+    return injected_crash + injected_dropout + injected_link +
+           injected_corrupt + injected_divergent;
+  }
+  std::uint64_t accounted() const { return rejected + dropped + recovered; }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int num_participants);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool active() const { return !plan_.empty(); }
+
+  // --- availability ---
+  bool is_crashed(int participant, int round) const;
+  bool is_dropped_out(int participant, int round) const;
+  bool is_offline(int participant, int round) const {
+    return is_crashed(participant, round) || is_dropped_out(participant, round);
+  }
+
+  // --- link faults + retransmit defense ---
+  // Simulates up to 1 + max_retransmits download attempts; each retry
+  // doubles the backoff (backoff_s, 2*backoff_s, ...).
+  LinkOutcome link_outcome(int participant, int round, int max_retransmits,
+                           double backoff_s) const;
+
+  // --- payload faults (at most one per update) ---
+  // kDivergent wins over kCorruptPayload when both fire.
+  std::optional<FaultKind> payload_fault(int participant, int round) const;
+  // Flips plan.corrupt_bits random bits across the buffer, deterministically
+  // per (participant, round).
+  void corrupt(std::vector<float>& values, int participant, int round) const;
+  // Poisons an update the way a divergent client would: NaN / Inf /
+  // exploding gradients and an out-of-range or non-finite reward.
+  void poison(UpdateMsg& upd, int participant, int round) const;
+
+ private:
+  double u01(std::uint64_t salt, std::uint64_t a, std::uint64_t b) const;
+
+  FaultPlan plan_;
+  int num_participants_;
+};
+
+// Server-side update screening (defense): accepts only updates whose
+// reward is a finite training accuracy in [0, 1], whose loss is finite,
+// and whose gradient is finite with L2 norm at most max_grad_norm
+// (<= 0 disables the norm bound). Returns nullptr when the update is
+// clean, otherwise a static string naming the first violation.
+const char* screen_update(const UpdateMsg& upd, float max_grad_norm);
+
+}  // namespace fms

@@ -28,6 +28,15 @@ class SearchParticipant {
   // Algorithm 1, lines 37-42.
   UpdateMsg train_step(const SubmodelMsg& msg);
 
+  // Crash-recovery state: the local RNG (batch sampling + augmentation)
+  // and the shard's epoch cursor. Replica weights need no persistence —
+  // every masked parameter is re-shipped each round and BatchNorm trains
+  // on batch statistics.
+  std::string rng_state() const { return rng_.save_state(); }
+  void set_rng_state(const std::string& state) { rng_.load_state(state); }
+  const Shard& shard() const { return shard_; }
+  Shard& shard() { return shard_; }
+
  private:
   int id_;
   Shard shard_;

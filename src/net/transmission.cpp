@@ -1,6 +1,7 @@
 #include "src/net/transmission.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "src/common/check.h"
@@ -68,17 +69,26 @@ LatencyStats transmission_latency(const std::vector<std::size_t>& model_bytes,
   avg_bytes /= static_cast<double>(k);
 
   LatencyStats stats;
+  stats.per_participant.reserve(k);
   for (std::size_t p = 0; p < k; ++p) {
+    if (bandwidth_bps[p] <= 0.0) {  // dead link: never divide by it
+      stats.per_participant.push_back(
+          std::numeric_limits<double>::infinity());
+      ++stats.failed_links;
+      continue;
+    }
     const double bytes =
         average_size
             ? avg_bytes
             : static_cast<double>(
                   model_bytes[static_cast<std::size_t>(assignment[p])]);
     const double lat = bytes * 8.0 / bandwidth_bps[p];
+    stats.per_participant.push_back(lat);
     stats.max_seconds = std::max(stats.max_seconds, lat);
     stats.mean_seconds += lat;
   }
-  stats.mean_seconds /= static_cast<double>(k);
+  const std::size_t working = k - static_cast<std::size_t>(stats.failed_links);
+  if (working > 0) stats.mean_seconds /= static_cast<double>(working);
   return stats;
 }
 

@@ -25,13 +25,20 @@ std::vector<int> assign_models(const std::vector<std::size_t>& model_bytes,
                                AssignStrategy strategy, Rng& rng);
 
 struct LatencyStats {
-  double max_seconds = 0.0;
-  double mean_seconds = 0.0;
+  double max_seconds = 0.0;   // over working links only
+  double mean_seconds = 0.0;  // over working links only
+  // Per-participant download latency; infinity marks a failed link
+  // (zero/negative bandwidth) so callers can treat it as a fault instead
+  // of silently folding inf/NaN into the round statistics.
+  std::vector<double> per_participant;
+  int failed_links = 0;
 };
 
 // Download latencies implied by an assignment. For kAverageSize the actual
 // model sizes are replaced by their mean (all participants receive
-// equal-size payloads).
+// equal-size payloads). A participant with zero or negative bandwidth is a
+// failed link: its latency is infinite and it is excluded from the
+// max/mean aggregates, which stay finite.
 LatencyStats transmission_latency(const std::vector<std::size_t>& model_bytes,
                                   const std::vector<double>& bandwidth_bps,
                                   const std::vector<int>& assignment,

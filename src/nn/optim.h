@@ -32,6 +32,13 @@ class SGD {
   float lr() const { return opts_.lr; }
   const Options& options() const { return opts_; }
 
+  // Momentum-buffer snapshot/restore for crash-recovery; empty means "no
+  // step taken yet" and step() re-allocates lazily as usual.
+  const std::vector<std::vector<float>>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<std::vector<float>> v) {
+    velocity_ = std::move(v);
+  }
+
  private:
   Options opts_;
   std::vector<std::vector<float>> velocity_;

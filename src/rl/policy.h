@@ -60,6 +60,12 @@ class ArchPolicy {
   // Returns the updated baseline to subtract from this round's accuracies.
   double update_baseline(double round_mean_accuracy);
   double baseline() const { return baseline_.value(); }
+  bool baseline_initialized() const { return baseline_.initialized(); }
+  // Crash-recovery: reinstate the exact EMA state (the uninitialized flag
+  // matters — the first update seeds the average instead of decaying).
+  void restore_baseline(double value, bool initialized) {
+    baseline_.restore(value, initialized);
+  }
 
   // Shannon entropy (nats) of each edge's softmax distribution, normal
   // edges first then reduce edges. The uniform initial policy gives

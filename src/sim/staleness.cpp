@@ -1,17 +1,28 @@
 #include "src/sim/staleness.h"
 
+#include <cmath>
+
 #include "src/common/check.h"
 
 namespace fms {
 
 StalenessDistribution::StalenessDistribution(std::vector<double> p_tau)
     : p_tau_(std::move(p_tau)) {
+  // Validate up front with precise messages: a NaN/Inf entry, a negative
+  // mass, or a total above 1 would make sample() return garbage delays
+  // that silently corrupt the soft-sync experiments. An *empty* vector is
+  // legal and means "every update exceeds the threshold" (total loss).
   double sum = 0.0;
-  for (double p : p_tau_) {
-    FMS_CHECK_MSG(p >= 0.0, "negative probability");
+  for (std::size_t t = 0; t < p_tau_.size(); ++t) {
+    const double p = p_tau_[t];
+    FMS_CHECK_MSG(std::isfinite(p),
+                  "staleness probability p_tau[" << t << "] is not finite");
+    FMS_CHECK_MSG(p >= 0.0, "staleness probability p_tau[" << t << "] = " << p
+                                << " is negative");
     sum += p;
   }
-  FMS_CHECK_MSG(sum <= 1.0 + 1e-9, "staleness probabilities exceed 1");
+  FMS_CHECK_MSG(sum <= 1.0 + 1e-9,
+                "staleness probabilities sum to " << sum << " > 1");
   drop_p_ = std::max(0.0, 1.0 - sum);
 }
 
