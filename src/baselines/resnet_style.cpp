@@ -56,6 +56,7 @@ void ResidualBlock::collect_params(std::vector<Param*>& out) {
 }
 
 std::unique_ptr<Module> ResidualBlock::clone() const {
+  // NOLINTNEXTLINE(modernize-make-unique): the default ctor is private
   auto copy = std::unique_ptr<ResidualBlock>(new ResidualBlock());
   copy->main_ = main_->clone();
   copy->skip_ = skip_ ? skip_->clone() : nullptr;

@@ -20,6 +20,7 @@ double env_scale() {
 SearchConfig default_config() {
   SearchConfig cfg;
   double scale = env_scale();
+  // fms-lint: allow(float-eq) -- 1.0 is the exact "no env override" default
   if (scale != 1.0) {
     auto sc = [&](int v) { return static_cast<int>(v * scale); };
     cfg.schedule.warmup_steps = sc(cfg.schedule.warmup_steps);

@@ -67,6 +67,7 @@ SearchCheckpoint SearchCheckpoint::deserialize(
     ckpt.runtime_state = r.read_vector<std::uint8_t>();
   } else {
     // v1 files predate the flag; a non-zero baseline implies it was live.
+    // fms-lint: allow(float-eq) -- 0.0 is the exact serialized default
     ckpt.baseline_initialized = ckpt.baseline != 0.0;
   }
   FMS_CHECK_MSG(r.exhausted(), "trailing bytes in checkpoint");

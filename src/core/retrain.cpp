@@ -8,7 +8,7 @@
 namespace fms {
 
 double evaluate(TrainableNet& net, const Dataset& data, int batch_size) {
-  FMS_CHECK(data.size() > 0);
+  FMS_CHECK(!data.empty());
   int correct_total = 0;
   for (int start = 0; start < data.size(); start += batch_size) {
     const int end = std::min(data.size(), start + batch_size);

@@ -259,6 +259,12 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     }
     const std::optional<FaultKind> pf =
         faults ? injector.payload_fault(i, t) : std::nullopt;
+    // Spelled with an explicit engaged check (not optional==value): GCC's
+    // -Wmaybe-uninitialized false-fires on the operator== template at -O3,
+    // which FMS_WERROR would promote to a build break.
+    const bool pf_corrupt =
+        pf.has_value() && *pf == FaultKind::kCorruptPayload;
+    const bool pf_divergent = pf.has_value() && *pf == FaultKind::kDivergent;
 
     const Mask& mask = masks[static_cast<std::size_t>(assignment[i])];
     SubmodelMsg msg;
@@ -272,7 +278,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         msg.values = codec_round_trip(msg.values, opts.codec);
       }
     }
-    if (pf == FaultKind::kCorruptPayload) {
+    if (pf_corrupt) {
       // One corruption event flips bits on the wire in both directions:
       // the SubmodelMsg the client trains on and the UpdateMsg it returns.
       ++fault_stats_.injected_corrupt;
@@ -288,10 +294,10 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     if (opts.codec != Codec::kFloat32) {
       upd.grads = codec_round_trip(upd.grads, opts.codec);
     }
-    if (pf == FaultKind::kDivergent) {
+    if (pf_divergent) {
       ++fault_stats_.injected_divergent;
       injector.poison(upd, i, t);
-    } else if (pf == FaultKind::kCorruptPayload) {
+    } else if (pf_corrupt) {
       injector.corrupt(upd.grads, i, t);
     }
     const std::size_t up = payload_bytes(upd.mask, upd.grads.size()) + 8;

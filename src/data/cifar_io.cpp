@@ -47,7 +47,7 @@ Dataset load_cifar(const std::vector<std::string>& paths,
   for (const auto& path : paths) {
     append_cifar_records(read_file(path), format, out);
   }
-  FMS_CHECK_MSG(out.size() > 0, "no CIFAR records loaded");
+  FMS_CHECK_MSG(!out.empty(), "no CIFAR records loaded");
   return out;
 }
 

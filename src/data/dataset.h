@@ -32,6 +32,7 @@ class Dataset {
   }
 
   int size() const { return static_cast<int>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
   int num_classes() const { return num_classes_; }
   int channels() const { return c_; }
   int height() const { return h_; }

@@ -35,6 +35,7 @@ double Histogram::quantile(double q) const {
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double c = static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    // fms-lint: allow(float-eq) -- exact-zero skip of an integer-valued count
     if (c == 0.0) continue;
     if (cum + c >= rank) {
       // Interpolate inside bucket i between its lower and upper edge.
@@ -43,6 +44,7 @@ double Histogram::quantile(double q) const {
       lower = std::max(lower, lo_clamp);
       upper = std::min(upper, hi_clamp);
       if (upper < lower) upper = lower;
+      // fms-lint: allow(float-eq) -- exact-zero guard against 0/0
       const double frac = c == 0.0 ? 0.0 : (rank - cum) / c;
       return std::clamp(lower + frac * (upper - lower), lo_clamp, hi_clamp);
     }

@@ -72,6 +72,7 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
         for (int oh = 0; oh < ho; ++oh) {
           for (int ow = 0; ow < wo; ++ow) {
             const float gy = grad_y.at4(in, oc_abs, oh, ow);
+            // fms-lint: allow(float-eq) -- exact-zero sparsity skip (ReLU)
             if (gy == 0.0F) continue;
             for (int ic = 0; ic < cin_g; ++ic) {
               const int ic_abs = gi * cin_g + ic;
@@ -251,6 +252,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   for (int i = 0; i < m; ++i) {
     for (int kk = 0; kk < k; ++kk) {
       const float av = a.at2(i, kk);
+      // fms-lint: allow(float-eq) -- exact-zero sparsity skip
       if (av == 0.0F) continue;
       for (int j = 0; j < n; ++j) c.at2(i, j) += av * b.at2(kk, j);
     }
@@ -265,6 +267,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   for (int kk = 0; kk < k; ++kk) {
     for (int i = 0; i < m; ++i) {
       const float av = a.at2(kk, i);
+      // fms-lint: allow(float-eq) -- exact-zero sparsity skip
       if (av == 0.0F) continue;
       for (int j = 0; j < n; ++j) c.at2(i, j) += av * b.at2(kk, j);
     }

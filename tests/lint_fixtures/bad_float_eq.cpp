@@ -1,0 +1,8 @@
+// Known-bad fixture for the float-eq rule. Line numbers are asserted by
+// tests/test_lint.cpp — edit with care.
+
+bool bad_rhs(float x) { return x == 0.1F; }
+
+bool bad_lhs(double y) { return 2.5 == y; }
+
+bool bad_ne(double z) { return z != 1e-6; }

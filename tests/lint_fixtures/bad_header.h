@@ -1,0 +1,6 @@
+// Known-bad fixture for the pragma-once rule: no include guard at all.
+// The finding is reported at line 1 (tests/test_lint.cpp asserts this).
+
+namespace fms_lint_fixture {
+inline int forty_two() { return 42; }
+}  // namespace fms_lint_fixture

@@ -1,0 +1,14 @@
+// Known-bad fixture for the unseeded-rng rule. Line numbers are asserted
+// by tests/test_lint.cpp — edit with care.
+#include <cstdlib>
+#include <random>
+
+int bad_random_device() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int bad_c_rand() {
+  srand(42);
+  return rand();
+}

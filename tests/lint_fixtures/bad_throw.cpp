@@ -1,0 +1,7 @@
+// Known-bad fixture for the bare-throw rule. Line numbers are asserted by
+// tests/test_lint.cpp — edit with care.
+#include <stdexcept>
+
+void bad_throw(bool fail) {
+  if (fail) throw std::runtime_error("bad");
+}

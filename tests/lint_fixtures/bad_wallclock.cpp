@@ -1,0 +1,13 @@
+// Known-bad fixture for the wall-clock rule. Line numbers are asserted
+// by tests/test_lint.cpp — edit with care.
+#include <chrono>
+#include <ctime>
+
+double bad_system_clock() {
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_time() {
+  return static_cast<long>(time(nullptr));
+}

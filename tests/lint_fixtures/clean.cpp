@@ -1,0 +1,16 @@
+// Clean fixture: banned tokens appear only where they are legal — in
+// comments, in string literals, as substrings of longer identifiers, or
+// as integer comparisons. The linter must report nothing.
+#include <cmath>
+
+// Prose mentioning rand(), srand(), std::random_device, system_clock and
+// time(nullptr) must never fire: comments are stripped before matching.
+const char* kDoc = "call rand() then check time(nullptr) == 0.5";
+
+bool nearly(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+bool int_eq(int n) { return n == 0; }  // integer literal: legal
+
+int operand(int randomize) { return randomize; }  // substrings: legal
+
+double round_time(double t) { return t; }  // not the C time() call

@@ -1,0 +1,4 @@
+// Clean fixture header: #pragma once present, nothing else to report.
+#pragma once
+
+inline double half() { return 0.5; }

@@ -1,0 +1,11 @@
+// Known-bad fixture for the unordered-container rule: the path contains
+// /core/, so the ordering-sensitive context applies. Line numbers are
+// asserted by tests/test_lint.cpp — edit with care.
+#include <string>
+#include <unordered_map>
+
+double bad_sum(const std::unordered_map<std::string, double>& m) {
+  double s = 0.0;
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}

@@ -1,0 +1,6 @@
+// Fixture: unordered container waived inside an ordering-sensitive path.
+// fms-lint: allow(unordered-container) -- fixture
+#include <unordered_map>
+
+// fms-lint: allow(unordered-container) -- fixture
+std::unordered_map<int, int> suppressed_map();

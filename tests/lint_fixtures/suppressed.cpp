@@ -1,0 +1,25 @@
+// Fixture: every violation suppressed in place — the linter must report
+// nothing for this file. Exercises both annotation styles (same-line and
+// comment-line-above).
+#include <cstdlib>
+#include <ctime>
+#include <stdexcept>
+
+int suppressed_rand() {
+  return rand();  // fms-lint: allow(unseeded-rng) -- fixture
+}
+
+long suppressed_time() {
+  // fms-lint: allow(wall-clock) -- fixture, next-line style
+  return static_cast<long>(time(nullptr));
+}
+
+bool suppressed_eq(float x) {
+  return x == 0.5F;  // fms-lint: allow(float-eq) -- fixture
+}
+
+void suppressed_throw(bool fail) {
+  // fms-lint: allow(bare-throw) -- fixture
+  // a second comment line must not break the chain to the code below
+  if (fail) throw std::runtime_error("ok");
+}

@@ -1,0 +1,5 @@
+// Fixture: header with no #pragma once, explicitly waived — the
+// annotation is honored anywhere in the file for this file-level rule.
+// fms-lint: allow(pragma-once) -- fixture: deliberately guard-free
+
+inline int suppressed_header_fn() { return 7; }

@@ -154,6 +154,8 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(
       pool.parallel_for(8,
                         [](std::size_t i) {
+                          // fms-lint: allow(bare-throw) -- tests that a
+                          // non-CheckError exception still propagates
                           if (i == 3) throw std::runtime_error("boom");
                         }),
       std::runtime_error);

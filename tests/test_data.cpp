@@ -195,6 +195,7 @@ TEST(Augment, CutoutZeroesPixels) {
   Dataset::Batch b = data.make_batch(idx, &aug, &rng);
   int zeros = 0;
   for (std::size_t i = 0; i < b.x.numel(); ++i) {
+    // fms-lint: allow(float-eq) -- cutout augmentation writes exact zeros
     if (b.x[i] == 0.0F) ++zeros;
   }
   EXPECT_GT(zeros, 0);

@@ -285,6 +285,7 @@ TEST_P(CompensationProperty, LambdaZeroIsIdentityAndDriftScalesCorrection) {
   for (std::size_t i = 0; i < h.size(); ++i) {
     const float expected = h[i] + lambda * h[i] * h[i] * (fresh[i] - stale[i]);
     EXPECT_FLOAT_EQ(out[i], expected);
+    // fms-lint: allow(float-eq) -- lambda iterates exact test parameters
     if (lambda == 0.0F) {
       EXPECT_FLOAT_EQ(out[i], h[i]);
     }

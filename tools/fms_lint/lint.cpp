@@ -1,0 +1,449 @@
+#include "tools/fms_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fms::lint {
+namespace {
+
+constexpr const char* kRuleRng = "unseeded-rng";
+constexpr const char* kRuleWallClock = "wall-clock";
+constexpr const char* kRuleUnordered = "unordered-container";
+constexpr const char* kRuleFloatEq = "float-eq";
+constexpr const char* kRulePragmaOnce = "pragma-once";
+constexpr const char* kRuleBareThrow = "bare-throw";
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+// One source line after comment/string stripping, plus the rules any
+// comment on that line explicitly allows.
+struct ScannedLine {
+  std::string code;            // literals hollowed out, comments removed
+  std::string raw;             // original text (pragma-once looks here)
+  std::set<std::string> allowed;
+};
+
+// Parses every `fms-lint: allow(a,b)` marker inside a comment chunk.
+void collect_allowances(const std::string& comment, std::set<std::string>* out) {
+  static const std::string kMarker = "fms-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string id;
+    for (std::size_t i = open; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!id.empty()) out->insert(id);
+        id.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        id.push_back(c);
+      }
+    }
+    pos = close + 1;
+  }
+}
+
+// Splits `contents` into lines with comments removed and string/char
+// literal bodies hollowed out (delimiters stay, so `""` still reads as an
+// expression). Line numbering is preserved across multi-line constructs.
+std::vector<ScannedLine> scan(const std::string& contents) {
+  std::vector<ScannedLine> lines;
+  lines.emplace_back();
+
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;       // raw-string closing delimiter, ")<delim>\""
+  std::string comment_buf;     // accumulates comment text for allow()
+  char prev_code = '\0';       // last significant code char (digit seps)
+
+  const std::size_t n = contents.size();
+  std::size_t i = 0;
+  auto newline = [&] {
+    collect_allowances(comment_buf, &lines.back().allowed);
+    comment_buf.clear();
+    lines.emplace_back();
+  };
+  while (i < n) {
+    const char c = contents[i];
+    const char next = i + 1 < n ? contents[i + 1] : '\0';
+    if (c != '\n') lines.back().raw.push_back(c);
+    switch (state) {
+      case State::kCode:
+        if (c == '\n') {
+          newline();
+        } else if (c == '/' && next == '/') {
+          // Line comment: swallow to end of line, keep text for allow().
+          std::size_t j = i + 2;
+          while (j < n && contents[j] != '\n') {
+            comment_buf.push_back(contents[j]);
+            lines.back().raw.push_back(contents[j]);
+            ++j;
+          }
+          i = j;
+          if (i < n) newline();  // consume the '\n'
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          lines.back().raw.push_back(next);
+          ++i;
+        } else if (c == '"') {
+          if (prev_code == 'R') {
+            // Raw string: R"delim( ... )delim"
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && contents[j] != '(' && delim.size() < 18) {
+              delim.push_back(contents[j]);
+              ++j;
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            lines.back().code.push_back('"');
+            // skip the delimiter + '(' without copying it into code
+            for (std::size_t k = i + 1; k <= j && k < n; ++k) {
+              lines.back().raw.push_back(contents[k]);
+            }
+            i = j;
+          } else {
+            state = State::kString;
+            lines.back().code.push_back('"');
+          }
+          prev_code = '"';
+        } else if (c == '\'' && !is_ident_char(prev_code)) {
+          state = State::kChar;
+          lines.back().code.push_back('\'');
+          prev_code = '\'';
+        } else {
+          lines.back().code.push_back(c);
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) prev_code = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '\n') {
+          newline();
+        } else if (c == '*' && next == '/') {
+          state = State::kCode;
+          lines.back().raw.push_back(next);
+          ++i;
+        } else {
+          comment_buf.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (next == '\n') {
+            newline();
+          } else {
+            lines.back().raw.push_back(next);
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          lines.back().code.push_back('"');
+        } else if (c == '\n') {
+          newline();  // unterminated; tolerate
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (next != '\n' && next != '\0') lines.back().raw.push_back(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          lines.back().code.push_back('\'');
+        } else if (c == '\n') {
+          newline();
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          newline();
+        } else if (c == ')' && contents.compare(i, raw_delim.size(),
+                                                raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size() && i + k < n; ++k) {
+            lines.back().raw.push_back(contents[i + k]);
+          }
+          i += raw_delim.size() - 1;
+          lines.back().code.push_back('"');
+          state = State::kCode;
+        }
+        break;
+    }
+    ++i;
+  }
+  collect_allowances(comment_buf, &lines.back().allowed);
+  return lines;
+}
+
+// True when `token` occurs in `code` as a whole identifier; when
+// `call_form` is set, the token must additionally be followed by '('
+// (so `#include <ctime>` or `steady_clock` never trip call-only rules).
+bool has_token(const std::string& code, const std::string& token,
+               bool call_form) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool lhs_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    std::size_t after = pos + token.size();
+    const bool rhs_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (lhs_ok && rhs_ok) {
+      if (!call_form) return true;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+        ++after;
+      }
+      if (after < code.size() && code[after] == '(') return true;
+    }
+    pos += token.size();
+  }
+  return false;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Aggregation / serialization context: the code whose container iteration
+// order feeds checkpoints, payloads, or metrics output.
+bool ordering_sensitive(const std::string& path) {
+  for (const char* dir : {"/core/", "/fed/", "/dc/", "/fault/", "/obs/"}) {
+    if (path.find(dir) != std::string::npos) return true;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.find("serialize") != std::string::npos ||
+         base.find("checkpoint") != std::string::npos;
+}
+
+// ==/!= where either operand is a floating-point literal. Pure textual
+// heuristic: identifier-vs-identifier comparisons pass (types unknown),
+// which keeps the rule quiet outside the obviously wrong cases.
+bool float_equality(const std::string& code) {
+  static const std::regex rhs_literal(
+      R"((?:^|[^<>!=&|+\-*/%^])[!=]=\s*([+-]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?[fFlL]*)(?:$|[^=A-Za-z0-9_.]))");
+  static const std::regex lhs_literal(
+      R"((?:^|[^A-Za-z0-9_.])((?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?[fFlL]*)\s*[!=]=(?:$|[^=]))");
+  std::smatch m;
+  // The captured literal must actually be floating-point — integer
+  // comparisons like `count() == 0` stay legal.
+  auto is_floaty = [](const std::string& lit) {
+    return lit.find('.') != std::string::npos ||
+           lit.find('e') != std::string::npos ||
+           lit.find('E') != std::string::npos ||
+           lit.find('f') != std::string::npos ||
+           lit.find('F') != std::string::npos;
+  };
+  auto search = [&](const std::regex& re) {
+    std::string::const_iterator it = code.cbegin();
+    while (std::regex_search(it, code.cend(), m, re)) {
+      if (is_floaty(m[1].str())) return true;
+      it = m[0].second;
+    }
+    return false;
+  };
+  return search(rhs_literal) || search(lhs_literal);
+}
+
+void add(std::vector<Finding>* out, const std::string& path, int line,
+         const char* rule, const std::string& message) {
+  out->push_back(Finding{path, line, rule, message});
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRuleRng,
+       "std::random_device / rand() / srand() outside src/common/rng.h "
+       "(breaks seeded reproducibility)"},
+      {kRuleWallClock,
+       "std::chrono::system_clock / time() / gettimeofday() outside "
+       "src/common/stopwatch.h (results must not depend on wall-clock)"},
+      {kRuleUnordered,
+       "std::unordered_{map,set} in aggregation/serialization code "
+       "(iteration order breaks bit-identical resume)"},
+      {kRuleFloatEq,
+       "==/!= against a floating-point literal (use a tolerance)"},
+      {kRulePragmaOnce, "header missing #pragma once"},
+      {kRuleBareThrow,
+       "throw std::runtime_error/logic_error (use FMS_CHECK / "
+       "fms::CheckError)"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& contents) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+
+  const bool is_header = path_ends_with(p, ".h") || path_ends_with(p, ".hpp");
+  const bool rng_sanctioned = path_ends_with(p, "src/common/rng.h");
+  const bool clock_sanctioned = path_ends_with(p, "src/common/stopwatch.h");
+  const bool check_sanctioned = path_ends_with(p, "src/common/check.h");
+  const bool unordered_applies = ordering_sensitive(p);
+
+  const std::vector<ScannedLine> lines = scan(contents);
+  std::vector<Finding> out;
+
+  bool saw_pragma_once = false;
+  bool pragma_once_allowed = false;
+  for (const ScannedLine& ln : lines) {
+    std::string trimmed = ln.raw;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.rfind("#pragma once", 0) == 0) saw_pragma_once = true;
+    if (ln.allowed.count(kRulePragmaOnce) != 0) pragma_once_allowed = true;
+  }
+
+  // An allow() on a comment-only line suppresses the next code line (the
+  // NOLINTNEXTLINE style), chaining across consecutive comment lines; an
+  // allow() sharing a line with code suppresses that line.
+  std::vector<std::set<std::string>> effective(lines.size());
+  {
+    std::set<std::string> pending;
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      effective[idx] = lines[idx].allowed;
+      effective[idx].insert(pending.begin(), pending.end());
+      const std::string& c = lines[idx].code;
+      if (c.find_first_not_of(" \t") == std::string::npos) {
+        pending.insert(lines[idx].allowed.begin(), lines[idx].allowed.end());
+      } else {
+        pending.clear();
+      }
+    }
+  }
+
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const ScannedLine& ln = lines[idx];
+    const std::string& code = ln.code;
+    const int lineno = static_cast<int>(idx) + 1;
+    if (code.empty()) continue;
+    auto allowed = [&](const char* rule) {
+      return effective[idx].count(rule) != 0;
+    };
+
+    if (!rng_sanctioned && !allowed(kRuleRng)) {
+      if (has_token(code, "random_device", /*call_form=*/false)) {
+        add(&out, p, lineno, kRuleRng,
+            "std::random_device is non-deterministic; take an fms::Rng& "
+            "(src/common/rng.h) instead");
+      } else if (has_token(code, "rand", true) ||
+                 has_token(code, "srand", true) ||
+                 has_token(code, "rand_r", true)) {
+        add(&out, p, lineno, kRuleRng,
+            "C rand()/srand() uses hidden global state; take an fms::Rng& "
+            "(src/common/rng.h) instead");
+      }
+    }
+    if (!clock_sanctioned && !allowed(kRuleWallClock)) {
+      if (has_token(code, "system_clock", false)) {
+        add(&out, p, lineno, kRuleWallClock,
+            "system_clock is wall-clock; use fms::Stopwatch "
+            "(src/common/stopwatch.h) or simulated time");
+      } else if (has_token(code, "time", true) ||
+                 has_token(code, "gettimeofday", true) ||
+                 has_token(code, "localtime", true) ||
+                 has_token(code, "gmtime", true) ||
+                 has_token(code, "ctime", true)) {
+        add(&out, p, lineno, kRuleWallClock,
+            "C time API reads wall-clock; use fms::Stopwatch "
+            "(src/common/stopwatch.h) or simulated time");
+      }
+    }
+    if (unordered_applies && !allowed(kRuleUnordered)) {
+      if (has_token(code, "unordered_map", false) ||
+          has_token(code, "unordered_set", false) ||
+          has_token(code, "unordered_multimap", false) ||
+          has_token(code, "unordered_multiset", false)) {
+        add(&out, p, lineno, kRuleUnordered,
+            "unordered container in aggregation/serialization code: "
+            "iteration order is implementation-defined and breaks "
+            "bit-identical resume; use std::map or a sorted vector");
+      }
+    }
+    if (!allowed(kRuleFloatEq) && float_equality(code)) {
+      add(&out, p, lineno, kRuleFloatEq,
+          "exact floating-point comparison; compare against a tolerance "
+          "(or annotate an intentional exact-zero/sentinel check)");
+    }
+    if (!check_sanctioned && !allowed(kRuleBareThrow)) {
+      if (has_token(code, "throw", false) &&
+          (code.find("std::runtime_error") != std::string::npos ||
+           code.find("std::logic_error") != std::string::npos)) {
+        add(&out, p, lineno, kRuleBareThrow,
+            "bare throw of a std exception; use FMS_CHECK/FMS_CHECK_MSG or "
+            "throw fms::CheckError so tests and callers can match on it");
+      }
+    }
+  }
+
+  if (is_header && !saw_pragma_once && !pragma_once_allowed) {
+    add(&out, p, 1, kRulePragmaOnce, "header is missing #pragma once");
+  }
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FMS_CHECK_MSG(in.good(), "fms_lint: cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str());
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  auto skip = [](const fs::path& p) {
+    for (const auto& part : p) {
+      const std::string s = part.string();
+      if (s == "lint_fixtures" || s == ".git" || s == "build" ||
+          s.rfind("build-", 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+  };
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path rp(root);
+    FMS_CHECK_MSG(fs::exists(rp), "fms_lint: no such path: " << root);
+    if (fs::is_directory(rp)) {
+      for (const auto& entry : fs::recursive_directory_iterator(rp)) {
+        if (entry.is_regular_file() && lintable(entry.path()) &&
+            !skip(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      // Explicitly named files are always linted — the exclusion list
+      // only guards directory recursion (fixtures are known-bad by
+      // design, but asking for one by name is deliberate).
+      files.push_back(rp.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const std::string& f : files) {
+    std::vector<Finding> fs_ = lint_file(f);
+    out.insert(out.end(), fs_.begin(), fs_.end());
+  }
+  return out;
+}
+
+}  // namespace fms::lint

@@ -1,0 +1,67 @@
+// fms_lint CLI — scans the given files/directories and prints findings as
+//   path:line: [rule] message
+// Exit status: 0 clean, 1 findings, 2 usage or IO error.
+//
+// Registered as the `lint` ctest over src/, tests/, bench/ and examples/,
+// so a plain `ctest` run fails on any new determinism hazard.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "tools/fms_lint/lint.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: fms_lint [--list-rules] <file-or-dir>...\n"
+               "       suppress a finding in place with: "
+               "// fms-lint: allow(<rule>)  -- <reason>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : fms::lint::rules()) {
+        std::printf("%-20s %s\n", r.id, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fms_lint: unknown flag %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<fms::lint::Finding> findings;
+  try {
+    findings = fms::lint::lint_tree(roots);
+  } catch (const fms::CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("fms_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
