@@ -1,0 +1,115 @@
+// Ablation (DESIGN.md §7, "Byzantine robustness"): attack vs defense
+// for Byzantine participants.
+//
+// The paper assumes honest-but-unreliable clients; this ablation measures
+// what happens when 3 of 10 clients *lie* — sign-flipped gradients
+// (lambda=10), amplified gradients (x10), and inflated rewards — and what
+// each server-side estimator buys back. The "mean" column is the paper's
+// Eq. 13 with no reward defense; every robust column runs the defense
+// bundle (robust theta aggregator + reward winsorization at the 1.5 IQR
+// Tukey fence + median REINFORCE baseline). Cells are the final 50-round
+// moving-average training accuracy; higher is better.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/agg/aggregator.h"
+#include "src/fault/fault.h"
+
+int main() {
+  using namespace fms;
+  const int participants = 10;
+  bench::Workload w = bench::make_workload_c10(participants, bench::Dist::kIid,
+                                               /*seed=*/21);
+  SearchConfig cfg = bench::bench_search_config();
+  cfg.seed = 21;
+
+  struct Attack {
+    const char* name;
+    const char* plan;  // empty = no attack
+  };
+  // Seeds are chosen so the persistent per-participant draw realizes the
+  // advertised attacker counts on a 10-client fleet. The reward attack
+  // stays at 2/10: the Tukey fence's upper quartile breaks down once
+  // more than 25% of rewards sit above it.
+  const std::vector<Attack> attacks = {
+      {"no-attack", ""},
+      {"sign-flip x10 (3/10)", "sign_flip=0.3,sign_flip_lambda=10,seed=2"},
+      {"grad-scale x10 (3/10)", "grad_scale=0.3,grad_scale_lambda=10,seed=36"},
+      {"reward +0.5 (2/10)",
+       "reward_attack=0.2,reward_attack_delta=0.5,seed=12"},
+  };
+  const std::vector<std::string> aggregators = {
+      "mean", "clipped_mean", "trimmed_mean:3", "krum:3", "multi_krum:3"};
+
+  const int warmup = bench::scaled(10);
+  // Long enough that the final moving-average window sits entirely past
+  // the early-training transient: the attack-vs-defense comparison is
+  // about where the trajectories settle, not how they start.
+  const int rounds = bench::scaled(90);
+
+  struct Cell {
+    double acc = 0.0;      // final moving-average training accuracy
+    double entropy = 0.0;  // final mean alpha entropy (policy collapse probe)
+  };
+  auto run_cell = [&](const Attack& attack, const std::string& agg_spec) {
+    FederatedSearch search(cfg, w.data.train, w.partition);
+    search.run_warmup(warmup);
+    SearchOptions opts;
+    if (attack.plan[0] != '\0') opts.fault_plan = FaultPlan::parse(attack.plan);
+    opts.aggregator = agg::AggregatorConfig::parse(agg_spec);
+    if (opts.aggregator.kind != agg::AggregatorKind::kMean) {
+      // Defense bundle: the robust estimators ship with the adaptive
+      // screen (rejects norm-visible attacks wholesale before estimation)
+      // and the robust reward channel (a gradient aggregator alone cannot
+      // defend alpha).
+      opts.adaptive_screen = true;
+      opts.winsorize_rewards_k = 1.5;
+      opts.baseline_mode = BaselineMode::kMedianReward;
+    }
+    const auto records = search.run_search(rounds, opts);
+    return Cell{records.back().moving_avg, records.back().alpha_entropy};
+  };
+
+  Table acc("Ablation — Byzantine attack vs robust aggregation "
+            "(10 participants, final moving-average accuracy)");
+  Table ent("Same grid — final mean alpha entropy "
+            "(collapse probe: ln(8)=2.0794 means alpha stayed near "
+            "uniform at this scale; raise FMS_SCALE to see drift)");
+  Table csv("long-format grid");  // the CSV artifact
+  std::vector<std::string> cols = {"attack"};
+  cols.insert(cols.end(), aggregators.begin(), aggregators.end());
+  acc.columns(cols);
+  ent.columns(cols);
+  csv.columns({"attack", "aggregator", "final_moving_avg",
+               "final_alpha_entropy"});
+  for (const Attack& attack : attacks) {
+    std::vector<std::string> acc_row = {attack.name};
+    std::vector<std::string> ent_row = {attack.name};
+    for (const std::string& agg_spec : aggregators) {
+      const Cell cell = run_cell(attack, agg_spec);
+      acc_row.push_back(Table::num(cell.acc, 4));
+      ent_row.push_back(Table::num(cell.entropy, 4));
+      csv.row({attack.name, agg_spec, Table::num(cell.acc, 6),
+               Table::num(cell.entropy, 6)});
+    }
+    acc.row(acc_row);
+    ent.row(ent_row);
+  }
+  acc.print();
+  std::printf("\n");
+  ent.print();
+  csv.write_csv("fms_ablation_byzantine.csv");
+  std::printf(
+      "\nreading: under no attack every estimator tracks the mean (the "
+      "robustness tax is small); under sign-flip the plain mean degrades "
+      "hard while the defense-bundle columns hold their attack-free "
+      "values; grad-scale turns the mean's step size over to the "
+      "attacker (the trajectory may even transiently rise - it is still "
+      "attacker-controlled) while the defenses stay put; reward "
+      "inflation bypasses gradient aggregation entirely and inflates the "
+      "mean column's *reported* accuracy, which the winsorized reward "
+      "channel + median baseline damp in the defense-bundle columns.\n");
+  return 0;
+}

@@ -32,15 +32,30 @@ const char* kUsage =
     "                      [--progress-every N]\n"
     "                      [--fault-plan SPEC|severe] [--quorum Q]\n"
     "                      [--timeout SECONDS] [--checkpoint-every N]\n"
-    "                      [--resume PATH]\n"
+    "                      [--resume PATH] [--aggregator NAME[:F]]\n"
+    "                      [--winsorize-rewards K] [--baseline-mode MODE]\n"
+    "                      [--adaptive-screen K]\n"
     "\n"
     "fault flags:\n"
     "  --fault-plan SPEC     comma 'key=value' fault schedule (or 'severe'),\n"
     "                        e.g. crash=0.3,corrupt=0.1,divergent=0.2,link=0.1\n"
+    "                        Byzantine keys: sign_flip, sign_flip_lambda,\n"
+    "                        grad_scale, grad_scale_lambda, collude,\n"
+    "                        collude_scale, reward_attack, reward_attack_delta\n"
     "  --quorum Q            commit a round once ceil(Q*K) updates arrive\n"
     "  --timeout SECONDS     per-round commit deadline cap (0 = none)\n"
     "  --checkpoint-every N  auto-checkpoint cadence; requires --checkpoint\n"
-    "  --resume PATH         restore a checkpoint and continue the search\n";
+    "  --resume PATH         restore a checkpoint and continue the search\n"
+    "\n"
+    "robustness flags:\n"
+    "  --aggregator SPEC     theta gradient estimator: mean (default),\n"
+    "                        clipped_mean[:K], coordinate_median,\n"
+    "                        trimmed_mean[:F], krum[:F], multi_krum[:F]\n"
+    "  --winsorize-rewards K clamp rewards to [Q1-K*IQR, Q3+K*IQR] per round\n"
+    "                        before the alpha update (0 = off; 1.5 = Tukey)\n"
+    "  --baseline-mode MODE  REINFORCE baseline statistic: mean|median\n"
+    "  --adaptive-screen K   tighten the screening norm bound to\n"
+    "                        median + K*MAD of the round's arrivals\n";
 
 }  // namespace
 
@@ -64,6 +79,10 @@ int main(int argc, char** argv) {
   double timeout_s = 0.0;
   int checkpoint_every = 0;
   std::string resume_path;
+  std::string aggregator_spec;
+  double winsorize_k = 0.0;
+  std::string baseline_mode = "mean";
+  double adaptive_screen_k = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -109,6 +128,14 @@ int main(int argc, char** argv) {
       checkpoint_every = std::atoi(need_value("--checkpoint-every"));
     } else if (!std::strcmp(argv[i], "--resume")) {
       resume_path = need_value("--resume");
+    } else if (!std::strcmp(argv[i], "--aggregator")) {
+      aggregator_spec = need_value("--aggregator");
+    } else if (!std::strcmp(argv[i], "--winsorize-rewards")) {
+      winsorize_k = std::atof(need_value("--winsorize-rewards"));
+    } else if (!std::strcmp(argv[i], "--baseline-mode")) {
+      baseline_mode = need_value("--baseline-mode");
+    } else if (!std::strcmp(argv[i], "--adaptive-screen")) {
+      adaptive_screen_k = std::atof(need_value("--adaptive-screen"));
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       std::printf("%s", kUsage);
       return 0;
@@ -118,7 +145,9 @@ int main(int argc, char** argv) {
     }
   }
   if (participants < 1 || rounds < 0 || warmup < 0 || quorum <= 0.0 ||
-      quorum > 1.0 || timeout_s < 0.0 || checkpoint_every < 0) {
+      quorum > 1.0 || timeout_s < 0.0 || checkpoint_every < 0 ||
+      winsorize_k < 0.0 || adaptive_screen_k < 0.0 ||
+      (baseline_mode != "mean" && baseline_mode != "median")) {
     std::fprintf(stderr, "invalid arguments\n%s", kUsage);
     return 2;
   }
@@ -184,6 +213,17 @@ int main(int argc, char** argv) {
                           ? FaultPlan::severe()
                           : FaultPlan::parse(fault_plan_spec);
   }
+  if (!aggregator_spec.empty()) {
+    opts.aggregator = agg::AggregatorConfig::parse(aggregator_spec);
+  }
+  opts.winsorize_rewards_k = winsorize_k;
+  if (baseline_mode == "median") {
+    opts.baseline_mode = BaselineMode::kMedianReward;
+  }
+  if (adaptive_screen_k > 0.0) {
+    opts.adaptive_screen = true;
+    opts.adaptive_screen_k = adaptive_screen_k;
+  }
   opts.quorum = quorum;
   opts.round_timeout_s = timeout_s;
   opts.checkpoint_every = checkpoint_every;
@@ -226,6 +266,30 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(fs.dropped),
         static_cast<unsigned long long>(fs.recovered),
         static_cast<unsigned long long>(fs.retransmits));
+    if (fs.injected_byzantine() > 0) {
+      std::printf(
+          "byzantine: %llu attacked updates (sign_flip %llu, grad_scale "
+          "%llu, collude %llu, reward %llu)\n",
+          static_cast<unsigned long long>(fs.injected_byzantine()),
+          static_cast<unsigned long long>(fs.injected_sign_flip),
+          static_cast<unsigned long long>(fs.injected_grad_scale),
+          static_cast<unsigned long long>(fs.injected_collude),
+          static_cast<unsigned long long>(fs.injected_reward));
+    }
+  }
+  // Robustness summary: what the defended channels actually removed.
+  if (opts.aggregator.kind != agg::AggregatorKind::kMean ||
+      opts.winsorize_rewards_k > 0.0 || opts.adaptive_screen) {
+    const RobustStats& rs = search.robust_stats();
+    std::printf(
+        "robustness: aggregator %s; clipped %llu updates (mass %.3g), "
+        "trimmed %llu values, rejected %llu updates, winsorized %llu "
+        "rewards\n",
+        opts.aggregator.to_string().c_str(),
+        static_cast<unsigned long long>(rs.clipped_updates), rs.clipped_mass,
+        static_cast<unsigned long long>(rs.trimmed_values),
+        static_cast<unsigned long long>(rs.rejected_updates),
+        static_cast<unsigned long long>(rs.winsorized_rewards));
   }
 
   Genotype genotype = search.derive();

@@ -1,0 +1,129 @@
+// Byzantine-robust gradient aggregation for the server update.
+//
+// The paper's Eq. 13 averages client gradients — a linear estimator a
+// single lying participant can steer arbitrarily (one gradient scaled by
+// lambda moves the mean by lambda/m). Update screening (src/fault) is a
+// *pre-filter*: it rejects updates that are individually implausible
+// (non-finite, absurd norms) but is blind to coordinated, in-range lies.
+// The aggregators here are *estimators*: they bound the influence any f
+// of n participants can exert on the committed gradient, at the price of
+// statistical efficiency on clean rounds.
+//
+//   mean               Eq. 13 exactly (the default; zero robustness)
+//   clipped_mean       per-update L2 clip to median(norms) * k, then mean
+//   coordinate_median  per-coordinate median (breakdown point 1/2)
+//   trimmed_mean(f)    drop the f lowest and f highest values per
+//                      coordinate, average the rest (tolerates f of n)
+//   krum(f)            select the single update with the smallest sum of
+//                      squared distances to its n-f-2 nearest neighbours
+//   multi_krum(f)      average the n-f best-scored updates
+//
+// Aggregation happens in the dense supernet coordinate space: an update
+// only carries gradients for the parameters its mask selected, and every
+// other coordinate contributes an exact zero — the same "unsampled ops
+// receive no gradient" semantics the plain average has. All aggregators
+// return a mean-equivalent gradient (drop-in for (1/m) * sum).
+//
+// Masks make naive per-coordinate robust statistics useless: a given op's
+// parameters appear in only the few updates whose sampled arch includes
+// that op, so the "zero" most updates report for it is missing data, not
+// a vote. Sorting those zeros into the order statistics trims away the
+// real signal (the estimator converges on "no gradient" for every rarely
+// sampled op). The per-coordinate estimators therefore accept an optional
+// presence mask and compute their statistic over only the updates that
+// carry the coordinate, rescaled by n_j/m (n_j carriers of m arrivals) so
+// the result stays mean-equivalent — with the mean estimator this is an
+// algebraic identity, and with every carrier present it reduces to the
+// textbook formula. The trim count clamps to what n_j supports. Krum
+// stays update-level (distances in the dense space) and ignores presence.
+//
+// Everything here is deterministic: Krum score ties break by
+// lexicographic gradient content (permutation-invariant even for
+// colluding clones, which tie by construction), per-coordinate sorts are
+// over plain vectors, and no iteration order depends on hashing (the
+// fms_lint unordered-container rule covers this directory).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fms::agg {
+
+enum class AggregatorKind {
+  kMean,
+  kClippedMean,
+  kCoordinateMedian,
+  kTrimmedMean,
+  kKrum,
+  kMultiKrum,
+};
+
+const char* aggregator_name(AggregatorKind kind);
+
+struct AggregatorConfig {
+  AggregatorKind kind = AggregatorKind::kMean;
+  // Assumed number of malicious updates (trimmed_mean / krum / multi_krum).
+  // Clamped per round to what the arrival count can support.
+  int f = 1;
+  // clipped_mean bound multiplier: per-update norms above
+  // median(norms) * clip_multiplier are scaled down to the bound.
+  float clip_multiplier = 3.0F;
+
+  // Parses "name" or "name:f" (e.g. "trimmed_mean:2", "krum:3"); for
+  // clipped_mean the suffix is the multiplier k ("clipped_mean:2.5").
+  // Throws CheckError on unknown names or bad suffixes.
+  static AggregatorConfig parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// Per-round robustness telemetry alongside the aggregated gradient.
+struct AggregationOutcome {
+  std::vector<float> grad;      // dense, mean-equivalent
+  int clipped_updates = 0;      // updates norm-clipped (clipped_mean)
+  double clipped_mass = 0.0;    // total L2 norm removed by clipping
+  long trimmed_values = 0;      // coordinate values trimmed (trimmed_mean)
+  int rejected_updates = 0;     // updates excluded outright (krum family)
+  std::vector<int> selected;    // surviving update indices (krum family)
+};
+
+// Aggregates n dense same-length gradient vectors. Requires at least one
+// update; every update must have the same dimension. This overload treats
+// every coordinate as present in every update (fully-dense updates).
+AggregationOutcome aggregate(const AggregatorConfig& cfg,
+                             const std::vector<std::vector<float>>& updates);
+
+// Mask-aware overload: presence[u][c] != 0 iff update u's sampled arch
+// carries coordinate c (see the header comment on participation-aware
+// estimation). `presence` must match `updates` in shape; an empty vector
+// means fully dense. Absent coordinates must be exact zeros in `updates`.
+AggregationOutcome aggregate(
+    const AggregatorConfig& cfg, const std::vector<std::vector<float>>& updates,
+    const std::vector<std::vector<std::uint8_t>>& presence);
+
+// --- robust scalar statistics (shared by screening and the reward channel) ---
+
+// Median with even-count averaging. Empty input returns 0.
+double median_of(std::vector<double> values);
+
+// Median absolute deviation around `center`.
+double mad_of(const std::vector<double>& values, double center);
+
+// Adaptive screening bound: median + k * MAD over the round's update
+// norms. Returns `fallback` (the fixed cap) when fewer than min_count
+// norms are available — robust statistics need a quorum of their own.
+double adaptive_norm_bound(const std::vector<double>& norms, double k,
+                           int min_count, double fallback);
+
+// Winsorization band [Q1 - k*IQR, Q3 + k*IQR] of the round's rewards
+// (quartiles by linear interpolation). With fewer than 4 samples the
+// band is degenerate-safe: it spans the observed min/max, clamping
+// nothing.
+struct WinsorBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+WinsorBounds winsor_bounds(std::vector<double> rewards, double k);
+
+}  // namespace fms::agg

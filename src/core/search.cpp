@@ -17,8 +17,11 @@
 namespace fms {
 namespace {
 
-// Header of the opaque runtime-state blob inside v2 checkpoints.
-constexpr std::uint32_t kRuntimeMagic = 0x464d5352;  // "FMSR"
+// Header of the opaque runtime-state blob inside v2 checkpoints. Bumped to
+// "FMS3" when the fault ledger grew Byzantine counters and the robustness
+// ledger was appended: older blobs fail the magic check instead of
+// misparsing a shifted layout.
+constexpr std::uint32_t kRuntimeMagic = 0x464d5333;  // "FMS3"
 
 }  // namespace
 
@@ -265,6 +268,14 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     const bool pf_corrupt =
         pf.has_value() && *pf == FaultKind::kCorruptPayload;
     const bool pf_divergent = pf.has_value() && *pf == FaultKind::kDivergent;
+    // Byzantine attack this client runs, if any. Skipped when a payload
+    // fault already fires: that update is destroyed anyway, and counting
+    // both would double-book an update that resolves exactly once.
+    const std::optional<FaultKind> byz =
+        faults && !pf.has_value() ? injector.byzantine_kind(i, t)
+                                  : std::nullopt;
+    // The fault attached to this update for exactly-once accounting.
+    const std::optional<FaultKind> uf = pf.has_value() ? pf : byz;
 
     const Mask& mask = masks[static_cast<std::size_t>(assignment[i])];
     SubmodelMsg msg;
@@ -299,6 +310,22 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       injector.poison(upd, i, t);
     } else if (pf_corrupt) {
       injector.corrupt(upd.grads, i, t);
+    } else if (byz.has_value()) {
+      switch (*byz) {
+        case FaultKind::kSignFlip:
+          ++fault_stats_.injected_sign_flip;
+          break;
+        case FaultKind::kGradScale:
+          ++fault_stats_.injected_grad_scale;
+          break;
+        case FaultKind::kCollude:
+          ++fault_stats_.injected_collude;
+          break;
+        default:
+          ++fault_stats_.injected_reward;
+          break;
+      }
+      injector.attack(upd, *byz, i, t);
     }
     const std::size_t up = payload_bytes(upd.mask, upd.grads.size()) + 8;
     rec.bytes_up += up;
@@ -313,13 +340,13 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         if (tau != kExceedsThreshold) tau = std::max(tau, 1);
       } else {
         ++rec.dropped;
-        account_payload_drop(pf);
+        account_payload_drop(uf);
         continue;
       }
     }
     if (tau == kExceedsThreshold || tau > pool_.threshold()) {
       ++rec.dropped;  // beyond the staleness threshold: never applied
-      account_payload_drop(pf);
+      account_payload_drop(uf);
       continue;
     }
     arrivals_[t + tau].push_back(std::move(upd));
@@ -331,6 +358,10 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   supernet_->zero_grad();
   AlphaPair grad_j = AlphaPair::zeros(policy_.num_edges());
   std::vector<std::pair<double, AlphaPair>> alpha_terms;  // (reward, dlogp)
+  // Accepted updates, collected (not yet applied) so the aggregate phase
+  // below can choose between the exact Eq. 13 mean and a robust estimator.
+  std::vector<std::vector<std::size_t>> applied_ids;
+  std::vector<std::vector<float>> applied_grads;
   double reward_sum = 0.0;
   double tau_sum = 0.0;
   int m = 0;
@@ -343,19 +374,41 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
                   : nullptr;
     auto due = arrivals_.find(t);
     if (due != arrivals_.end()) {
+      // Adaptive screening: tighten the norm cutoff to median + k*MAD of
+      // this round's arrivals (robust location/scale, so up to half the
+      // fleet lying cannot widen the bound) when enough updates arrived;
+      // otherwise the fixed cap applies. The bound never exceeds the cap.
+      float screen_bound = opts.screen_max_grad_norm;
+      if (opts.screen_updates && opts.adaptive_screen) {
+        std::vector<double> norms;
+        norms.reserve(due->second.size());
+        for (const UpdateMsg& u : due->second) {
+          double sq = 0.0;
+          for (float g : u.grads) sq += static_cast<double>(g) * g;
+          const double norm = std::sqrt(sq);
+          if (std::isfinite(norm)) norms.push_back(norm);
+        }
+        screen_bound = static_cast<float>(agg::adaptive_norm_bound(
+            norms, opts.adaptive_screen_k, opts.adaptive_screen_min,
+            static_cast<double>(opts.screen_max_grad_norm)));
+      }
+      if (opts.screen_updates) rec.screen_bound = screen_bound;
       for (UpdateMsg& upd : due->second) {
         const int tau = t - upd.round;
         if (tau_hist != nullptr) tau_hist->observe(static_cast<double>(tau));
-        // The injector is stateless, so the payload fault attached to this
-        // update (possibly from an earlier round) is re-derived, not stored.
-        const std::optional<FaultKind> pf =
+        // The injector is stateless, so the fault attached to this update
+        // (possibly from an earlier round) is re-derived, not stored. Same
+        // precedence as the dispatch site: payload fault, else Byzantine.
+        std::optional<FaultKind> pf =
             faults ? injector.payload_fault(upd.participant, upd.round)
                    : std::nullopt;
+        if (faults && !pf.has_value()) {
+          pf = injector.byzantine_kind(upd.participant, upd.round);
+        }
         if (opts.screen_updates) {
           // Defense: reject poisoned/corrupted updates before they can
           // reach theta, alpha, or the REINFORCE baseline.
-          const char* violation =
-              screen_update(upd, opts.screen_max_grad_norm);
+          const char* violation = screen_update(upd, screen_bound);
           if (violation != nullptr) {
             ++rec.rejected;
             if (pf.has_value()) ++fault_stats_.rejected;
@@ -369,6 +422,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         }
         std::vector<float> grads;
         AlphaPair dlogp = AlphaPair::zeros(policy_.num_edges());
+        std::vector<std::size_t> ids = supernet_->masked_param_ids(upd.mask);
         if (tau == 0) {
           grads = std::move(upd.grads);
           dlogp = policy_.log_prob_grad(upd.mask);
@@ -388,7 +442,6 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
             grads = std::move(upd.grads);
             dlogp = ArchPolicy::log_prob_grad_at(snap->alpha, upd.mask);
           } else {  // kCompensate: Eq. 13 + Eq. 15
-            const auto ids = supernet_->masked_param_ids(upd.mask);
             std::vector<float> fresh_w = supernet_->gather_values(ids);
             std::vector<float> stale_w =
                 supernet_->gather_from_flat(snap->theta, ids);
@@ -404,8 +457,8 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         }
         tau_sum += tau;
         rec.max_tau = std::max(rec.max_tau, tau);
-        supernet_->scatter_add_grads(supernet_->masked_param_ids(upd.mask),
-                                     grads);
+        applied_ids.push_back(std::move(ids));
+        applied_grads.push_back(std::move(grads));
         alpha_terms.emplace_back(upd.reward, std::move(dlogp));
         reward_sum += upd.reward;
         ++m;
@@ -423,28 +476,102 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     FMS_SPAN("aggregate");
     if (m > 0) {
       rec.mean_reward = reward_sum / m;
+      // Robust reward channel (defense): winsorize the round's rewards into
+      // the Tukey band before they can reach the moving average, the
+      // baseline, or their own advantage — a lying client's influence is
+      // then bounded by the band width, not by trust. The defended mean is
+      // what the curves and the EMA see.
+      if (opts.winsorize_rewards_k > 0.0) {
+        std::vector<double> rewards;
+        rewards.reserve(alpha_terms.size());
+        for (const auto& term : alpha_terms) rewards.push_back(term.first);
+        const agg::WinsorBounds wb =
+            agg::winsor_bounds(rewards, opts.winsorize_rewards_k);
+        double wsum = 0.0;
+        for (auto& [reward, dlogp] : alpha_terms) {
+          if (reward < wb.lo) {
+            reward = wb.lo;
+            ++rec.winsorized;
+          } else if (reward > wb.hi) {
+            reward = wb.hi;
+            ++rec.winsorized;
+          }
+          wsum += reward;
+        }
+        rec.mean_reward = wsum / m;
+      }
       rec.moving_avg = moving_.update(rec.mean_reward);
 
-      // REINFORCE with moving-average baseline (Eq. 8-10).
-      const double b = policy_.update_baseline(rec.mean_reward);
+      // REINFORCE with moving-average baseline (Eq. 8-10). The median
+      // baseline mode feeds the EMA a statistic a lying minority cannot
+      // move at all (mean mode reproduces Eq. 9 exactly).
+      double round_stat = rec.mean_reward;
+      if (opts.baseline_mode == BaselineMode::kMedianReward) {
+        std::vector<double> rewards;
+        rewards.reserve(alpha_terms.size());
+        for (const auto& term : alpha_terms) rewards.push_back(term.first);
+        round_stat =
+            ArchPolicy::round_statistic(rewards, BaselineMode::kMedianReward);
+      }
+      const double b = policy_.update_baseline(round_stat);
       for (auto& [reward, dlogp] : alpha_terms) {
         grad_j.add_scaled(dlogp, static_cast<float>(reward - b) /
                                      static_cast<float>(m));
       }
       if (opts.update_alpha) policy_.apply_gradient(grad_j);
 
-      if (opts.update_theta) {
-        // Average gradients over arrived sub-models (line 32) and step.
-        const float inv_m = 1.0F / static_cast<float>(m);
-        for (Param* p : supernet_->params()) {
-          for (float& g : p->grad.vec()) g *= inv_m;
+      if (opts.aggregator.kind == agg::AggregatorKind::kMean) {
+        // Eq. 13 exactly, preserving the pre-robustness float-op order:
+        // scatter each accepted gradient in arrival order, then scale by
+        // 1/m — bit-identical to the legacy in-loop scatter.
+        for (std::size_t u = 0; u < applied_grads.size(); ++u) {
+          supernet_->scatter_add_grads(applied_ids[u], applied_grads[u]);
         }
-        theta_opt_.step(supernet_->params());
+        if (opts.update_theta) {
+          const float inv_m = 1.0F / static_cast<float>(m);
+          for (Param* p : supernet_->params()) {
+            for (float& g : p->grad.vec()) g *= inv_m;
+          }
+          theta_opt_.step(supernet_->params());
+        }
+      } else {
+        // Robust estimator: densify each masked update into the whole-net
+        // coordinate space (unsampled ops contribute zero gradient, the
+        // same semantics the legacy scatter gives the mean) and aggregate.
+        // The presence masks let the per-coordinate estimators tell a
+        // real zero gradient from an op the update never sampled — see
+        // the participation-aware notes in src/agg/aggregator.h.
+        std::vector<std::vector<float>> dense;
+        std::vector<std::vector<std::uint8_t>> presence;
+        dense.reserve(applied_grads.size());
+        presence.reserve(applied_grads.size());
+        for (std::size_t u = 0; u < applied_grads.size(); ++u) {
+          dense.push_back(
+              supernet_->dense_from_masked(applied_ids[u], applied_grads[u]));
+          presence.push_back(supernet_->presence_from_masked(applied_ids[u]));
+        }
+        const agg::AggregationOutcome out =
+            agg::aggregate(opts.aggregator, dense, presence);
+        rec.agg_clipped = out.clipped_updates;
+        rec.agg_clipped_mass = out.clipped_mass;
+        rec.agg_trimmed = out.trimmed_values;
+        rec.agg_rejected = out.rejected_updates;
+        if (opts.update_theta) {
+          supernet_->add_flat_grads(out.grad);
+          theta_opt_.step(supernet_->params());
+        }
       }
     } else {
       rec.moving_avg = moving_.value();
     }
   }
+  robust_stats_.clipped_updates += static_cast<std::uint64_t>(rec.agg_clipped);
+  robust_stats_.clipped_mass += rec.agg_clipped_mass;
+  robust_stats_.trimmed_values += static_cast<std::uint64_t>(rec.agg_trimmed);
+  robust_stats_.rejected_updates +=
+      static_cast<std::uint64_t>(rec.agg_rejected);
+  robust_stats_.winsorized_rewards +=
+      static_cast<std::uint64_t>(rec.winsorized);
   rec.alpha_entropy = policy_.mean_entropy();
   rec.baseline = policy_.baseline();
 
@@ -486,6 +613,14 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
             before.injected_corrupt);
   add_delta("fms.fault.injected.divergent", fault_stats_.injected_divergent,
             before.injected_divergent);
+  add_delta("fms.fault.injected.sign_flip", fault_stats_.injected_sign_flip,
+            before.injected_sign_flip);
+  add_delta("fms.fault.injected.grad_scale", fault_stats_.injected_grad_scale,
+            before.injected_grad_scale);
+  add_delta("fms.fault.injected.collude", fault_stats_.injected_collude,
+            before.injected_collude);
+  add_delta("fms.fault.injected.reward_attack", fault_stats_.injected_reward,
+            before.injected_reward);
   add_delta("fms.fault.rejected", fault_stats_.rejected, before.rejected);
   add_delta("fms.fault.dropped", fault_stats_.dropped, before.dropped);
   add_delta("fms.fault.recovered", fault_stats_.recovered, before.recovered);
@@ -506,6 +641,22 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
   }
   if (rec.partial_quorum) reg.counter("fms.rounds.partial_quorum").add(1);
   reg.histogram("fms.round.commit_latency_s").observe(rec.commit_latency_s);
+
+  // Robust-aggregation counters: how much influence the estimator removed.
+  if (rec.agg_clipped > 0) {
+    reg.counter("fms.agg.clipped").add(static_cast<std::uint64_t>(rec.agg_clipped));
+  }
+  if (rec.agg_trimmed > 0) {
+    reg.counter("fms.agg.trimmed").add(static_cast<std::uint64_t>(rec.agg_trimmed));
+  }
+  if (rec.agg_rejected > 0) {
+    reg.counter("fms.agg.rejected")
+        .add(static_cast<std::uint64_t>(rec.agg_rejected));
+  }
+  if (rec.winsorized > 0) {
+    reg.counter("fms.rewards.winsorized")
+        .add(static_cast<std::uint64_t>(rec.winsorized));
+  }
 
   reg.gauge("fms.policy.baseline").set(rec.baseline);
   reg.gauge("fms.alpha.entropy.mean").set(rec.alpha_entropy);
@@ -554,6 +705,12 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
       {"retransmits", static_cast<double>(rec.retransmits)},
       {"partial_quorum", rec.partial_quorum ? 1.0 : 0.0},
       {"commit_latency_s", rec.commit_latency_s},
+      {"agg_clipped", static_cast<double>(rec.agg_clipped)},
+      {"agg_clipped_mass", rec.agg_clipped_mass},
+      {"agg_trimmed", static_cast<double>(rec.agg_trimmed)},
+      {"agg_rejected", static_cast<double>(rec.agg_rejected)},
+      {"winsorized", static_cast<double>(rec.winsorized)},
+      {"screen_bound", rec.screen_bound},
   };
   telemetry.emit(std::move(event));
 }
@@ -588,6 +745,9 @@ std::vector<std::uint8_t> FederatedSearch::serialize_runtime_state() const {
   w.write(static_cast<std::uint64_t>(submodel_count_));
   // Fault ledger, so resumed campaigns keep the accounting invariant exact.
   w.write(fault_stats_);
+  // Robustness ledger, so a resumed run's CLI summary matches an
+  // uninterrupted one.
+  w.write(robust_stats_);
   // Every RNG stream: the server's two, each participant's, each trace's.
   w.write_string(rng_.save_state());
   w.write_string(staleness_rng_.save_state());
@@ -647,6 +807,7 @@ void FederatedSearch::restore_runtime_state(
   submodel_bytes_sum_ = static_cast<std::size_t>(r.read<std::uint64_t>());
   submodel_count_ = static_cast<std::size_t>(r.read<std::uint64_t>());
   fault_stats_ = r.read<FaultStats>();
+  robust_stats_ = r.read<RobustStats>();
   rng_.load_state(r.read_string());
   staleness_rng_.load_state(r.read_string());
   const auto np = r.read<std::uint32_t>();

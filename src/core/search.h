@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/agg/aggregator.h"
 #include "src/common/config.h"
 #include "src/common/stats.h"
 #include "src/core/checkpoint.h"
@@ -64,6 +65,30 @@ struct SearchOptions {
   // default without perturbing fault-free runs.
   bool screen_updates = true;
   float screen_max_grad_norm = 1e4F;  // <= 0 disables the norm bound
+  // Adaptive screening bound: when enabled and at least adaptive_screen_min
+  // updates arrived this round, the norm cutoff tightens to
+  // median + k*MAD over the round's update norms (never looser than
+  // screen_max_grad_norm); with fewer arrivals the fixed cap applies
+  // unchanged — robust statistics need a quorum of their own.
+  bool adaptive_screen = false;
+  double adaptive_screen_k = 6.0;
+  int adaptive_screen_min = 4;
+  // --- Byzantine-robust aggregation (src/agg) ---
+  // Gradient estimator for the theta update. kMean reproduces Eq. 13
+  // exactly (bit-identical to the pre-robustness code path); the robust
+  // estimators bound the influence any f lying participants can exert.
+  // Screening is the pre-filter (rejects individually implausible
+  // updates); the aggregator is the estimator (bounds coordinated,
+  // in-range lies that screening cannot see).
+  agg::AggregatorConfig aggregator;
+  // Robust reward channel for the alpha REINFORCE update: k > 0 clamps
+  // each arrived reward into [Q1 - k*IQR, Q3 + k*IQR] of the round's
+  // arrivals before it can reach the moving average, the baseline, or its
+  // own advantage (1.5 is the classic Tukey fence). 0 disables.
+  double winsorize_rewards_k = 0.0;
+  // Statistic feeding the REINFORCE baseline EMA (Eq. 9); the median
+  // variant is immune to any lying minority.
+  BaselineMode baseline_mode = BaselineMode::kMeanReward;
   // Auto-checkpoint cadence (crash-recovery): every checkpoint_every
   // rounds the full search state is written to checkpoint_path.
   int checkpoint_every = 0;  // 0 disables
@@ -97,6 +122,24 @@ struct RoundRecord {
   int retransmits = 0;   // link retries performed this round
   bool partial_quorum = false;   // committed with fewer than ceil(q*K) on time
   double commit_latency_s = 0.0;  // simulated time at which the round closed
+  // Robust-aggregation observability.
+  int agg_clipped = 0;            // updates norm-clipped by clipped_mean
+  double agg_clipped_mass = 0.0;  // L2 mass removed by that clipping
+  long agg_trimmed = 0;           // coordinate values trimmed (trimmed_mean)
+  int agg_rejected = 0;           // updates excluded by krum / multi_krum
+  int winsorized = 0;             // rewards clamped into the Tukey band
+  double screen_bound = 0.0;      // effective gradient-norm cutoff this round
+};
+
+// Cumulative robustness ledger across all rounds (CLI summary): how much
+// influence the robust estimators and the winsorized reward channel
+// actually removed.
+struct RobustStats {
+  std::uint64_t clipped_updates = 0;
+  double clipped_mass = 0.0;
+  std::uint64_t trimmed_values = 0;
+  std::uint64_t rejected_updates = 0;
+  std::uint64_t winsorized_rewards = 0;
 };
 
 class FederatedSearch {
@@ -139,6 +182,8 @@ class FederatedSearch {
   // Cumulative fault ledger across all rounds run so far. Invariant:
   // injected_total() == rejected + dropped + recovered.
   const FaultStats& fault_stats() const { return fault_stats_; }
+  // Cumulative robust-aggregation ledger across all rounds run so far.
+  const RobustStats& robust_stats() const { return robust_stats_; }
 
   // Optional per-round observer (progress logging in examples/benches).
   std::function<void(const RoundRecord&)> on_round;
@@ -166,6 +211,7 @@ class FederatedSearch {
   std::map<int, std::vector<UpdateMsg>> arrivals_;
   WindowAverage moving_;
   FaultStats fault_stats_;
+  RobustStats robust_stats_;
   int round_counter_ = 0;
   std::size_t total_bytes_down_ = 0;
   std::size_t total_bytes_up_ = 0;

@@ -1,5 +1,6 @@
 #include "src/fault/fault.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -23,6 +24,11 @@ constexpr std::uint64_t kSaltCorruptBits = 0xCB;
 constexpr std::uint64_t kSaltDivergentSelect = 0xF0;
 constexpr std::uint64_t kSaltDivergent = 0xF1;
 constexpr std::uint64_t kSaltPoisonMode = 0xF2;
+constexpr std::uint64_t kSaltSignFlip = 0xA1;
+constexpr std::uint64_t kSaltGradScale = 0xA2;
+constexpr std::uint64_t kSaltCollude = 0xA3;
+constexpr std::uint64_t kSaltColludeStream = 0xA4;
+constexpr std::uint64_t kSaltRewardAttack = 0xA5;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -74,13 +80,23 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBandwidthCollapse: return "bandwidth_collapse";
     case FaultKind::kCorruptPayload: return "corrupt_payload";
     case FaultKind::kDivergent: return "divergent";
+    case FaultKind::kSignFlip: return "sign_flip";
+    case FaultKind::kGradScale: return "grad_scale";
+    case FaultKind::kCollude: return "collude";
+    case FaultKind::kRewardAttack: return "reward_attack";
   }
   return "unknown";
 }
 
 bool FaultPlan::empty() const {
   return crash_fraction <= 0.0 && dropout_p <= 0.0 && link_failure_p <= 0.0 &&
-         collapse_p <= 0.0 && corrupt_p <= 0.0 && divergent_fraction <= 0.0;
+         collapse_p <= 0.0 && corrupt_p <= 0.0 && divergent_fraction <= 0.0 &&
+         !has_byzantine();
+}
+
+bool FaultPlan::has_byzantine() const {
+  return sign_flip_fraction > 0.0 || grad_scale_fraction > 0.0 ||
+         collude_fraction > 0.0 || reward_attack_fraction > 0.0;
 }
 
 FaultPlan FaultPlan::severe(std::uint64_t seed) {
@@ -136,6 +152,30 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.divergent_fraction = parse_prob(key, value);
     } else if (key == "divergent_p") {
       plan.divergent_p = parse_prob(key, value);
+    } else if (key == "sign_flip") {
+      plan.sign_flip_fraction = parse_prob(key, value);
+    } else if (key == "sign_flip_lambda") {
+      plan.sign_flip_lambda = parse_double(key, value);
+      FMS_CHECK_MSG(plan.sign_flip_lambda > 0.0,
+                    "sign_flip_lambda must be > 0");
+    } else if (key == "grad_scale") {
+      plan.grad_scale_fraction = parse_prob(key, value);
+    } else if (key == "grad_scale_lambda") {
+      plan.grad_scale_lambda = parse_double(key, value);
+      FMS_CHECK_MSG(plan.grad_scale_lambda > 0.0,
+                    "grad_scale_lambda must be > 0");
+    } else if (key == "collude") {
+      plan.collude_fraction = parse_prob(key, value);
+    } else if (key == "collude_scale") {
+      plan.collude_scale = parse_double(key, value);
+      FMS_CHECK_MSG(plan.collude_scale > 0.0, "collude_scale must be > 0");
+    } else if (key == "reward_attack") {
+      plan.reward_attack_fraction = parse_prob(key, value);
+    } else if (key == "reward_attack_delta") {
+      plan.reward_attack_delta = parse_double(key, value);
+      FMS_CHECK_MSG(plan.reward_attack_delta >= -1.0 &&
+                        plan.reward_attack_delta <= 1.0,
+                    "reward_attack_delta must be in [-1, 1]");
     } else if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parse_double(key, value));
     } else {
@@ -153,7 +193,13 @@ std::string FaultPlan::to_string() const {
      << ",collapse=" << collapse_p << ",collapse_factor=" << collapse_factor
      << ",corrupt=" << corrupt_p << ",corrupt_bits=" << corrupt_bits
      << ",divergent=" << divergent_fraction << ",divergent_p=" << divergent_p
-     << ",seed=" << seed;
+     << ",sign_flip=" << sign_flip_fraction
+     << ",sign_flip_lambda=" << sign_flip_lambda
+     << ",grad_scale=" << grad_scale_fraction
+     << ",grad_scale_lambda=" << grad_scale_lambda
+     << ",collude=" << collude_fraction << ",collude_scale=" << collude_scale
+     << ",reward_attack=" << reward_attack_fraction
+     << ",reward_attack_delta=" << reward_attack_delta << ",seed=" << seed;
   return os.str();
 }
 
@@ -230,6 +276,71 @@ std::optional<FaultKind> FaultInjector::payload_fault(int participant,
     return FaultKind::kCorruptPayload;
   }
   return std::nullopt;
+}
+
+std::optional<FaultKind> FaultInjector::byzantine_kind(
+    int participant, int /*round*/) const {
+  // Selection is persistent: a Byzantine client lies on every update it
+  // sends (the round argument stays in the API so schedules could become
+  // time-varying without touching call sites).
+  const auto p = static_cast<std::uint64_t>(participant);
+  if (plan_.sign_flip_fraction > 0.0 &&
+      u01(kSaltSignFlip, p, 0) < plan_.sign_flip_fraction) {
+    return FaultKind::kSignFlip;
+  }
+  if (plan_.grad_scale_fraction > 0.0 &&
+      u01(kSaltGradScale, p, 0) < plan_.grad_scale_fraction) {
+    return FaultKind::kGradScale;
+  }
+  if (plan_.collude_fraction > 0.0 &&
+      u01(kSaltCollude, p, 0) < plan_.collude_fraction) {
+    return FaultKind::kCollude;
+  }
+  if (plan_.reward_attack_fraction > 0.0 &&
+      u01(kSaltRewardAttack, p, 0) < plan_.reward_attack_fraction) {
+    return FaultKind::kRewardAttack;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::attack(UpdateMsg& upd, FaultKind kind, int /*participant*/,
+                           int round) const {
+  auto clamp01 = [](double r) {
+    return static_cast<float>(std::min(1.0, std::max(0.0, r)));
+  };
+  switch (kind) {
+    case FaultKind::kSignFlip:
+      // Reverse-direction attack: honest reward, inverted (and optionally
+      // amplified) gradient — turns the averaged step into ascent.
+      for (float& g : upd.grads) {
+        g = static_cast<float>(-plan_.sign_flip_lambda * g);
+      }
+      break;
+    case FaultKind::kGradScale:
+      for (float& g : upd.grads) {
+        g = static_cast<float>(plan_.grad_scale_lambda * g);
+      }
+      break;
+    case FaultKind::kCollude: {
+      // Every colluder in a round replays the same pseudo-gradient stream
+      // (keyed by round only), so the clones sit arbitrarily close to one
+      // another — the schedule that stresses distance-based defenses.
+      Rng rng(mix(plan_.seed, kSaltColludeStream,
+                  static_cast<std::uint64_t>(round), 0));
+      const auto scale = static_cast<float>(plan_.collude_scale);
+      for (float& g : upd.grads) g = scale * rng.uniform(-1.0F, 1.0F);
+      break;
+    }
+    case FaultKind::kRewardAttack:
+      // Stays inside [0, 1] by design: this lie is invisible to update
+      // screening and must be absorbed by reward winsorization or the
+      // median baseline.
+      upd.reward = clamp01(static_cast<double>(upd.reward) +
+                           plan_.reward_attack_delta);
+      break;
+    default:
+      break;
+  }
 }
 
 void FaultInjector::corrupt(std::vector<float>& values, int participant,

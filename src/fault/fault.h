@@ -31,6 +31,14 @@ enum class FaultKind {
   kBandwidthCollapse,  // link survives but at a fraction of its bandwidth
   kCorruptPayload,     // bit flips in SubmodelMsg / UpdateMsg buffers
   kDivergent,     // client emits NaN/Inf or exploding gradients + rewards
+  // Byzantine adversaries: clients that lie, not crash. Unlike kDivergent
+  // their updates are crafted to *pass* update screening (finite values,
+  // rewards in [0, 1]) — only a robust estimator (src/agg) or a robust
+  // reward channel bounds their influence.
+  kSignFlip,      // gradient g -> -lambda * g (reverse-direction attack)
+  kGradScale,     // gradient g -> lambda * g (amplification attack)
+  kCollude,       // colluders all submit the same bounded fake gradient
+  kRewardAttack,  // reward shifted by +/- delta, clamped into [0, 1]
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -52,9 +60,22 @@ struct FaultPlan {
   int corrupt_bits = 8;          // flipped bits per corrupted payload
   double divergent_fraction = 0.0;  // fraction of clients that diverge...
   double divergent_p = 0.5;         // ...poisoning each update with this P
+  // --- Byzantine adversaries (persistent once selected; every update the
+  // selected client sends is attacked, which is the strongest and the
+  // easiest-to-reason-about schedule) ---
+  double sign_flip_fraction = 0.0;  // fraction running the sign-flip attack
+  double sign_flip_lambda = 1.0;    // g -> -lambda * g
+  double grad_scale_fraction = 0.0; // fraction running the scaling attack
+  double grad_scale_lambda = 10.0;  // g -> lambda * g
+  double collude_fraction = 0.0;    // fraction submitting cloned gradients
+  double collude_scale = 5.0;       // magnitude of the cloned direction
+  double reward_attack_fraction = 0.0;  // fraction lying about accuracy
+  double reward_attack_delta = 0.5;     // signed shift; < 0 deflates
   std::uint64_t seed = 0x7a0175;
 
   bool empty() const;
+  // True when any Byzantine family is scheduled.
+  bool has_byzantine() const;
 
   // Reference campaign of the acceptance bar: 30% crashed participants,
   // corrupted payloads, and NaN/exploding-gradient clients.
@@ -64,7 +85,10 @@ struct FaultPlan {
   //   "crash=0.3,crash_round=5,corrupt=0.2,divergent=0.3,link=0.1,seed=7"
   // Keys: crash, crash_round, crash_spread, dropout, dropout_rounds, link,
   // collapse, collapse_factor, corrupt, corrupt_bits, divergent,
-  // divergent_p, seed. Throws CheckError on unknown keys or bad values.
+  // divergent_p, sign_flip, sign_flip_lambda, grad_scale,
+  // grad_scale_lambda, collude, collude_scale, reward_attack,
+  // reward_attack_delta, seed. Throws CheckError on unknown keys or bad
+  // values.
   static FaultPlan parse(const std::string& spec);
   std::string to_string() const;
 };
@@ -91,15 +115,25 @@ struct FaultStats {
   std::uint64_t injected_link = 0;
   std::uint64_t injected_corrupt = 0;
   std::uint64_t injected_divergent = 0;
+  std::uint64_t injected_sign_flip = 0;
+  std::uint64_t injected_grad_scale = 0;
+  std::uint64_t injected_collude = 0;
+  std::uint64_t injected_reward = 0;
   std::uint64_t rejected = 0;   // caught by update screening
   std::uint64_t dropped = 0;    // update never applied (offline, dead link,
                                 // staleness overflow, evicted snapshot)
   std::uint64_t recovered = 0;  // retransmit succeeded / fault absorbed
+                                // (for Byzantine updates: reached the
+                                // aggregator, whose estimator bounds them)
   std::uint64_t retransmits = 0;  // individual retries (not in the equation)
 
+  std::uint64_t injected_byzantine() const {
+    return injected_sign_flip + injected_grad_scale + injected_collude +
+           injected_reward;
+  }
   std::uint64_t injected_total() const {
     return injected_crash + injected_dropout + injected_link +
-           injected_corrupt + injected_divergent;
+           injected_corrupt + injected_divergent + injected_byzantine();
   }
   std::uint64_t accounted() const { return rejected + dropped + recovered; }
 };
@@ -127,6 +161,19 @@ class FaultInjector {
   // --- payload faults (at most one per update) ---
   // kDivergent wins over kCorruptPayload when both fire.
   std::optional<FaultKind> payload_fault(int participant, int round) const;
+  // --- Byzantine adversaries ---
+  // The attack this participant runs (persistent selection; precedence
+  // sign-flip > grad-scale > collude > reward when a client is selected
+  // by several families). When payload_fault also fires for the same
+  // update, the payload fault wins: the attack is not applied that round
+  // (the update is already destroyed) and the payload fault takes the
+  // exactly-once accounting slot.
+  std::optional<FaultKind> byzantine_kind(int participant, int round) const;
+  // Applies the given Byzantine attack in place. Gradients stay finite
+  // and the reward stays in [0, 1], so the result passes screening by
+  // construction.
+  void attack(UpdateMsg& upd, FaultKind kind, int participant,
+              int round) const;
   // Flips plan.corrupt_bits random bits across the buffer, deterministically
   // per (participant, round).
   void corrupt(std::vector<float>& values, int participant, int round) const;

@@ -254,6 +254,63 @@ std::vector<float> Supernet::gather_from_flat(
   return out;
 }
 
+std::vector<float> Supernet::dense_from_masked(
+    const std::vector<std::size_t>& ids, const std::vector<float>& flat) {
+  if (offsets_.empty()) {
+    offsets_.reserve(params_.size());
+    std::size_t pos = 0;
+    for (Param* p : params_) {
+      offsets_.push_back(pos);
+      pos += p->numel();
+    }
+  }
+  std::vector<float> dense(param_count(), 0.0F);
+  std::size_t pos = 0;
+  for (std::size_t id : ids) {
+    const std::size_t off = offsets_[id];
+    const std::size_t n = params_[id]->numel();
+    FMS_CHECK(pos + n <= flat.size());
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + n),
+              dense.begin() + static_cast<std::ptrdiff_t>(off));
+    pos += n;
+  }
+  FMS_CHECK_MSG(pos == flat.size(), "dense scatter size mismatch");
+  return dense;
+}
+
+std::vector<std::uint8_t> Supernet::presence_from_masked(
+    const std::vector<std::size_t>& ids) {
+  if (offsets_.empty()) {
+    offsets_.reserve(params_.size());
+    std::size_t pos = 0;
+    for (Param* p : params_) {
+      offsets_.push_back(pos);
+      pos += p->numel();
+    }
+  }
+  std::vector<std::uint8_t> present(param_count(), 0);
+  for (std::size_t id : ids) {
+    const std::size_t off = offsets_[id];
+    const std::size_t n = params_[id]->numel();
+    std::fill(present.begin() + static_cast<std::ptrdiff_t>(off),
+              present.begin() + static_cast<std::ptrdiff_t>(off + n),
+              std::uint8_t{1});
+  }
+  return present;
+}
+
+void Supernet::add_flat_grads(const std::vector<float>& flat) {
+  std::size_t pos = 0;
+  for (Param* p : params_) {
+    auto& g = p->grad.vec();
+    FMS_CHECK(pos + g.size() <= flat.size());
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] += flat[pos + i];
+    pos += g.size();
+  }
+  FMS_CHECK_MSG(pos == flat.size(), "flat grad size mismatch");
+}
+
 std::vector<float> Supernet::flat_values() {
   std::vector<float> flat;
   flat.reserve(param_count());

@@ -1,5 +1,6 @@
 #include "src/rl/policy.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fms {
@@ -135,6 +136,22 @@ AlphaPair ArchPolicy::log_prob_grad_at(const AlphaPair& alpha,
 
 double ArchPolicy::update_baseline(double round_mean_accuracy) {
   return baseline_.update(round_mean_accuracy);
+}
+
+double ArchPolicy::update_baseline(const std::vector<double>& round_rewards,
+                                   BaselineMode mode) {
+  return baseline_.update(round_statistic(round_rewards, mode));
+}
+
+double ArchPolicy::round_statistic(const std::vector<double>& rewards,
+                                   BaselineMode mode) {
+  if (rewards.empty()) return 0.0;
+  if (mode == BaselineMode::kMeanReward) return mean_of(rewards);
+  std::vector<double> sorted = rewards;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  return sorted.size() % 2 == 1 ? sorted[mid]
+                                : (sorted[mid - 1] + sorted[mid]) / 2.0;
 }
 
 namespace {

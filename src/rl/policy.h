@@ -36,6 +36,15 @@ struct AlphaPair {
   static AlphaPair unflatten(const std::vector<float>& flat, int num_edges);
 };
 
+// Which per-round reward statistic feeds the REINFORCE baseline (Eq. 9).
+// kMeanReward is the paper's choice; kMedianReward is the robust variant:
+// a colluding minority reporting accuracy 1.0 shifts the mean by f/m per
+// round but cannot move the median at all while f < m/2.
+enum class BaselineMode {
+  kMeanReward,
+  kMedianReward,
+};
+
 class ArchPolicy {
  public:
   ArchPolicy(int num_edges, AlphaOptConfig cfg);
@@ -59,6 +68,14 @@ class ArchPolicy {
   // Moving-average baseline (Eq. 9): b_{t+1} = beta*mean_acc + (1-beta)*b_t.
   // Returns the updated baseline to subtract from this round's accuracies.
   double update_baseline(double round_mean_accuracy);
+  // Robust variant: folds the round's rewards into the configured
+  // statistic (mean or median) before the EMA update.
+  double update_baseline(const std::vector<double>& round_rewards,
+                         BaselineMode mode);
+  // The per-round statistic alone (mean or median with even-count
+  // averaging; empty input gives 0).
+  static double round_statistic(const std::vector<double>& rewards,
+                                BaselineMode mode);
   double baseline() const { return baseline_.value(); }
   bool baseline_initialized() const { return baseline_.initialized(); }
   // Crash-recovery: reinstate the exact EMA state (the uninitialized flag

@@ -1,0 +1,12 @@
+// Known-bad fixture for the unordered-container rule in the robust
+// aggregation subsystem: the path contains /agg/, so the
+// ordering-sensitive context applies — estimator output feeds theta, so
+// iteration order must be deterministic. Line numbers are asserted by
+// tests/test_lint.cpp — edit with care.
+#include <unordered_set>
+
+int bad_count(const std::unordered_set<int>& rejected) {
+  int n = 0;
+  for (int id : rejected) n += id > 0 ? 1 : 0;
+  return n;
+}

@@ -50,6 +50,11 @@ TEST(FmsLint, UnorderedContainerFiresInOrderingSensitivePath) {
             (RL{{"unordered-container", 5}, {"unordered-container", 7}}));
 }
 
+TEST(FmsLint, UnorderedContainerFiresInAggPath) {
+  EXPECT_EQ(rule_lines(lint_file(fixture("agg/bad_unordered.cpp"))),
+            (RL{{"unordered-container", 6}, {"unordered-container", 8}}));
+}
+
 TEST(FmsLint, FloatEqFiresAtExactLines) {
   EXPECT_EQ(rule_lines(lint_file(fixture("bad_float_eq.cpp"))),
             (RL{{"float-eq", 4}, {"float-eq", 6}, {"float-eq", 8}}));
@@ -107,6 +112,7 @@ TEST(FmsLint, UnorderedRuleIsPathScoped) {
   const std::string src = "#include <unordered_map>\n";
   EXPECT_TRUE(lint_source("src/nn/layers.cpp", src).empty());
   EXPECT_EQ(lint_source("src/fed/messages.cpp", src).size(), 1U);
+  EXPECT_EQ(lint_source("src/agg/aggregator.cpp", src).size(), 1U);
   EXPECT_EQ(lint_source("src/common/serialize.h",
                         "#pragma once\n#include <unordered_set>\n")
                 .size(),

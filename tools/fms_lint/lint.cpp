@@ -217,7 +217,8 @@ bool path_ends_with(const std::string& path, const std::string& suffix) {
 // Aggregation / serialization context: the code whose container iteration
 // order feeds checkpoints, payloads, or metrics output.
 bool ordering_sensitive(const std::string& path) {
-  for (const char* dir : {"/core/", "/fed/", "/dc/", "/fault/", "/obs/"}) {
+  for (const char* dir :
+       {"/core/", "/fed/", "/dc/", "/fault/", "/obs/", "/agg/"}) {
     if (path.find(dir) != std::string::npos) return true;
   }
   const std::size_t slash = path.find_last_of('/');
