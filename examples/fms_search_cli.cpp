@@ -18,6 +18,8 @@
 #include "src/data/synth.h"
 #include "src/nas/discrete_net.h"
 #include "src/nas/dot_export.h"
+#include "src/obs/alloc.h"
+#include "src/obs/profile.h"
 #include "src/obs/telemetry.h"
 
 namespace {
@@ -29,7 +31,7 @@ const char* kUsage =
     "                      [--checkpoint PATH] [--genotype-out PATH]\n"
     "                      [--dot-out PATH] [--seed N]\n"
     "                      [--trace-jsonl PATH] [--metrics-csv PATH]\n"
-    "                      [--progress-every N]\n"
+    "                      [--progress-every N] [--profile]\n"
     "                      [--fault-plan SPEC|severe] [--quorum Q]\n"
     "                      [--timeout SECONDS] [--checkpoint-every N]\n"
     "                      [--resume PATH] [--aggregator NAME[:F]]\n"
@@ -46,6 +48,13 @@ const char* kUsage =
     "  --timeout SECONDS     per-round commit deadline cap (0 = none)\n"
     "  --checkpoint-every N  auto-checkpoint cadence; requires --checkpoint\n"
     "  --resume PATH         restore a checkpoint and continue the search\n"
+    "\n"
+    "observability flags:\n"
+    "  --profile             enable the in-process profiler + allocation\n"
+    "                        ledger; prints the merged self-time table and\n"
+    "                        allocation totals after the run (adds per-zone\n"
+    "                        \"profile\" events to --trace-jsonl). Off by\n"
+    "                        default: results are bit-identical either way\n"
     "\n"
     "robustness flags:\n"
     "  --aggregator SPEC     theta gradient estimator: mean (default),\n"
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
   std::string trace_jsonl;
   std::string metrics_csv;
   int progress_every = 25;
+  bool profile = false;
   std::uint64_t seed = 42;
   std::string fault_plan_spec;
   double quorum = 1.0;
@@ -116,6 +126,8 @@ int main(int argc, char** argv) {
       metrics_csv = need_value("--metrics-csv");
     } else if (!std::strcmp(argv[i], "--progress-every")) {
       progress_every = std::atoi(need_value("--progress-every"));
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile = true;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--fault-plan")) {
@@ -183,6 +195,7 @@ int main(int argc, char** argv) {
   cfg.telemetry.console_every = progress_every;
   cfg.telemetry.trace_jsonl_path = trace_jsonl;
   cfg.telemetry.metrics_csv_path = metrics_csv;
+  cfg.telemetry.profile = profile;
 
   SearchOptions opts;
   if (staleness == "severe") {
@@ -310,6 +323,18 @@ int main(int argc, char** argv) {
   if (!dot_out.empty()) {
     write_dot_file(dot_out, genotype);
     std::printf("graphviz cell diagram written to %s\n", dot_out.c_str());
+  }
+  if (profile) {
+    const obs::AllocStats alloc = obs::alloc_stats();
+    std::printf("\n-- profile: merged self-time table --\n%s",
+                obs::self_time_table(obs::collect_profile()).c_str());
+    std::printf(
+        "alloc: %llu tensor allocations (%.1f MB total), peak live %.1f MB, "
+        "peak RSS %.1f MB\n",
+        static_cast<unsigned long long>(alloc.allocs),
+        static_cast<double>(alloc.total_bytes) / 1048576.0,
+        static_cast<double>(alloc.peak_live_bytes) / 1048576.0,
+        static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
   }
   obs::Telemetry::instance().finish();  // flush trace, write metrics CSV
   if (!trace_jsonl.empty()) {

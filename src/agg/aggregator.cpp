@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/obs/profile.h"
 
 namespace fms::agg {
 namespace {
@@ -37,6 +38,7 @@ int clamp_krum(int f, std::size_t n) {
 }
 
 AggregationOutcome aggregate_mean(const std::vector<std::vector<float>>& u) {
+  FMS_PROFILE_ZONE("agg.mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
   const double inv_n = 1.0 / static_cast<double>(u.size());
@@ -51,6 +53,7 @@ AggregationOutcome aggregate_mean(const std::vector<std::vector<float>>& u) {
 
 AggregationOutcome aggregate_clipped_mean(
     const std::vector<std::vector<float>>& u, float k) {
+  FMS_PROFILE_ZONE("agg.clipped_mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
   std::vector<double> norms;
@@ -98,6 +101,7 @@ double participation_scale(std::size_t n_j, std::size_t m) {
 AggregationOutcome aggregate_coordinate_median(
     const std::vector<std::vector<float>>& u,
     const std::vector<std::vector<std::uint8_t>>& presence) {
+  FMS_PROFILE_ZONE("agg.coordinate_median");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
   out.grad.assign(dim, 0.0F);
@@ -121,6 +125,7 @@ AggregationOutcome aggregate_coordinate_median(
 AggregationOutcome aggregate_trimmed_mean(
     const std::vector<std::vector<float>>& u,
     const std::vector<std::vector<std::uint8_t>>& presence, int f) {
+  FMS_PROFILE_ZONE("agg.trimmed_mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
   out.grad.assign(dim, 0.0F);
@@ -182,6 +187,7 @@ std::vector<double> krum_scores(const std::vector<std::vector<float>>& u,
 
 AggregationOutcome aggregate_krum(const std::vector<std::vector<float>>& u,
                                   int f, bool multi) {
+  FMS_PROFILE_ZONE("agg.krum");
   AggregationOutcome out;
   const std::size_t n = u.size();
   if (n == 1) {
@@ -304,8 +310,10 @@ AggregationOutcome aggregate(const AggregatorConfig& cfg,
 AggregationOutcome aggregate(
     const AggregatorConfig& cfg, const std::vector<std::vector<float>>& updates,
     const std::vector<std::vector<std::uint8_t>>& presence) {
+  FMS_PROFILE_ZONE("agg.estimate");
   FMS_CHECK_MSG(!updates.empty(), "aggregate needs at least one update");
   const std::size_t dim = updates.front().size();
+  FMS_PROFILE_BYTES(updates.size() * dim * sizeof(float));
   for (const auto& u : updates) {
     FMS_CHECK_MSG(u.size() == dim, "aggregate dimension mismatch");
   }

@@ -75,6 +75,10 @@ struct TelemetryConfig {
   std::string metrics_csv_path;  // registry snapshot written at end of run
   bool console = false;          // per-round progress one-liner
   int console_every = 25;        // console line cadence in rounds
+  // Scoped-zone profiler + tensor allocation accounting (src/obs/profile).
+  // Off by default: the disabled path is one relaxed atomic load per zone
+  // and search output is bit-identical either way.
+  bool profile = false;
 };
 
 struct SearchConfig {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/profile.h"
 
 namespace fms {
 
@@ -27,12 +28,16 @@ class ByteWriter {
   template <typename T>
   void write_vector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
+    // Bulk payloads dominate serialization cost; attribute them to the
+    // enclosing profiler zone (ckpt.serialize, fed.encode, ...).
+    FMS_PROFILE_BYTES(v.size() * sizeof(T));
     write(static_cast<std::uint64_t>(v.size()));
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
 
   void write_string(const std::string& s) {
+    FMS_PROFILE_BYTES(s.size());
     write(static_cast<std::uint64_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -63,6 +68,7 @@ class ByteReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     auto n = read<std::uint64_t>();
+    FMS_PROFILE_BYTES(n * sizeof(T));
     FMS_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "ByteReader underflow");
     std::vector<T> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "src/common/serialize.h"
+#include "src/obs/profile.h"
 
 namespace fms {
 namespace {
@@ -28,6 +29,7 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
 }  // namespace
 
 std::vector<std::uint8_t> SearchCheckpoint::serialize() const {
+  FMS_PROFILE_ZONE("ckpt.serialize");
   ByteWriter w;
   w.write(kCheckpointMagic);
   w.write(version);
@@ -46,6 +48,7 @@ std::vector<std::uint8_t> SearchCheckpoint::serialize() const {
 
 SearchCheckpoint SearchCheckpoint::deserialize(
     const std::vector<std::uint8_t>& bytes) {
+  FMS_PROFILE_ZONE("ckpt.restore");
   ByteReader r(bytes);
   FMS_CHECK_MSG(r.read<std::uint32_t>() == kCheckpointMagic,
                 "not a checkpoint file");

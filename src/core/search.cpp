@@ -10,6 +10,7 @@
 
 #include "src/common/serialize.h"
 #include "src/nn/optim.h"
+#include "src/obs/profile.h"
 #include "src/obs/span.h"
 #include "src/obs/telemetry.h"
 #include "src/tensor/ops.h"
@@ -713,6 +714,13 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
       {"screen_bound", rec.screen_bound},
   };
   telemetry.emit(std::move(event));
+
+  // With --profile on, flush the zone tree into the sinks each round:
+  // one "profile" trace event per zone plus the fms.prof.* / fms.alloc.*
+  // gauges (cumulative since the last reset_profiler()).
+  if (obs::profiling_enabled()) {
+    obs::emit_profile_telemetry(obs::collect_profile());
+  }
 }
 
 SearchCheckpoint FederatedSearch::checkpoint() {

@@ -1,5 +1,6 @@
 #include "src/dc/compensation.h"
 
+#include "src/obs/profile.h"
 #include "src/obs/span.h"
 
 namespace fms {
@@ -52,6 +53,7 @@ AlphaPair compensate_alpha_gradient(const AlphaPair& stale_grad,
 }
 
 void MemoryPool::save(int round, RoundSnapshot snapshot) {
+  FMS_PROFILE_ZONE("dc.pool_save");
   snapshots_[round] = std::move(snapshot);
 }
 
@@ -61,6 +63,7 @@ const RoundSnapshot* MemoryPool::find(int round) const {
 }
 
 void MemoryPool::evict(int current_round) {
+  FMS_PROFILE_ZONE("dc.pool_evict");
   const int oldest_kept = current_round - threshold_;
   for (auto it = snapshots_.begin(); it != snapshots_.end();) {
     if (it->first < oldest_kept) {

@@ -1,5 +1,7 @@
 #include "src/fed/messages.h"
 
+#include "src/obs/profile.h"
+
 namespace fms {
 namespace {
 
@@ -22,6 +24,7 @@ Mask read_mask(ByteReader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> SubmodelMsg::serialize() const {
+  FMS_PROFILE_ZONE("fed.encode");
   ByteWriter w;
   w.write(round);
   write_mask(w, mask);
@@ -30,6 +33,7 @@ std::vector<std::uint8_t> SubmodelMsg::serialize() const {
 }
 
 SubmodelMsg SubmodelMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
+  FMS_PROFILE_ZONE("fed.decode");
   ByteReader r(bytes);
   SubmodelMsg msg;
   msg.round = r.read<int>();
@@ -42,6 +46,7 @@ SubmodelMsg SubmodelMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
 std::size_t SubmodelMsg::byte_size() const { return serialize().size(); }
 
 std::vector<std::uint8_t> UpdateMsg::serialize() const {
+  FMS_PROFILE_ZONE("fed.encode");
   ByteWriter w;
   w.write(round);
   w.write(participant);
@@ -53,6 +58,7 @@ std::vector<std::uint8_t> UpdateMsg::serialize() const {
 }
 
 UpdateMsg UpdateMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
+  FMS_PROFILE_ZONE("fed.decode");
   ByteReader r(bytes);
   UpdateMsg msg;
   msg.round = r.read<int>();

@@ -1,5 +1,6 @@
 #include "src/nas/supernet.h"
 
+#include "src/obs/profile.h"
 #include "src/tensor/ops.h"
 
 namespace fms {
@@ -90,6 +91,7 @@ void Supernet::build_param_index() {
 }
 
 Tensor Supernet::forward(const Tensor& x, const Mask& mask, bool train) {
+  FMS_PROFILE_ZONE("nas.forward");
   FMS_CHECK(static_cast<int>(mask.normal.size()) == num_edges());
   FMS_CHECK(static_cast<int>(mask.reduce.size()) == num_edges());
   mixed_mode_ = false;
@@ -108,6 +110,7 @@ Tensor Supernet::forward(const Tensor& x, const Mask& mask, bool train) {
 }
 
 void Supernet::backward(const Tensor& grad_logits) {
+  FMS_PROFILE_ZONE("nas.backward");
   FMS_CHECK_MSG(has_cache_ && !mixed_mode_,
                 "Supernet::backward without masked train forward");
   Tensor g = classifier_->backward(grad_logits);
@@ -173,6 +176,7 @@ void Supernet::zero_grad() {
 }
 
 std::vector<std::size_t> Supernet::masked_param_ids(const Mask& mask) {
+  FMS_PROFILE_ZONE("nas.mask_ids");
   FMS_CHECK(static_cast<int>(mask.normal.size()) == num_edges());
   FMS_CHECK(static_cast<int>(mask.reduce.size()) == num_edges());
   std::vector<std::size_t> ids;
@@ -190,6 +194,7 @@ std::vector<std::size_t> Supernet::masked_param_ids(const Mask& mask) {
 
 std::vector<float> Supernet::gather_values(
     const std::vector<std::size_t>& ids) {
+  FMS_PROFILE_ZONE("nas.gather");
   std::vector<float> flat;
   for (std::size_t id : ids) {
     const auto& v = params_[id]->value.vec();
@@ -199,6 +204,7 @@ std::vector<float> Supernet::gather_values(
 }
 
 std::vector<float> Supernet::gather_grads(const std::vector<std::size_t>& ids) {
+  FMS_PROFILE_ZONE("nas.gather");
   std::vector<float> flat;
   for (std::size_t id : ids) {
     const auto& g = params_[id]->grad.vec();
@@ -209,6 +215,8 @@ std::vector<float> Supernet::gather_grads(const std::vector<std::size_t>& ids) {
 
 void Supernet::scatter_values(const std::vector<std::size_t>& ids,
                               const std::vector<float>& flat) {
+  FMS_PROFILE_ZONE("nas.scatter");
+  FMS_PROFILE_BYTES(flat.size() * sizeof(float));
   std::size_t pos = 0;
   for (std::size_t id : ids) {
     auto& v = params_[id]->value.vec();
@@ -223,6 +231,8 @@ void Supernet::scatter_values(const std::vector<std::size_t>& ids,
 
 void Supernet::scatter_add_grads(const std::vector<std::size_t>& ids,
                                  const std::vector<float>& flat) {
+  FMS_PROFILE_ZONE("nas.scatter");
+  FMS_PROFILE_BYTES(flat.size() * sizeof(float));
   std::size_t pos = 0;
   for (std::size_t id : ids) {
     auto& g = params_[id]->grad.vec();
@@ -235,6 +245,7 @@ void Supernet::scatter_add_grads(const std::vector<std::size_t>& ids,
 
 std::vector<float> Supernet::gather_from_flat(
     const std::vector<float>& flat, const std::vector<std::size_t>& ids) {
+  FMS_PROFILE_ZONE("nas.gather");
   if (offsets_.empty()) {
     offsets_.reserve(params_.size());
     std::size_t pos = 0;
@@ -256,6 +267,8 @@ std::vector<float> Supernet::gather_from_flat(
 
 std::vector<float> Supernet::dense_from_masked(
     const std::vector<std::size_t>& ids, const std::vector<float>& flat) {
+  FMS_PROFILE_ZONE("nas.densify");
+  FMS_PROFILE_BYTES(flat.size() * sizeof(float));
   if (offsets_.empty()) {
     offsets_.reserve(params_.size());
     std::size_t pos = 0;
@@ -281,6 +294,7 @@ std::vector<float> Supernet::dense_from_masked(
 
 std::vector<std::uint8_t> Supernet::presence_from_masked(
     const std::vector<std::size_t>& ids) {
+  FMS_PROFILE_ZONE("nas.presence");
   if (offsets_.empty()) {
     offsets_.reserve(params_.size());
     std::size_t pos = 0;
@@ -301,6 +315,8 @@ std::vector<std::uint8_t> Supernet::presence_from_masked(
 }
 
 void Supernet::add_flat_grads(const std::vector<float>& flat) {
+  FMS_PROFILE_ZONE("nas.scatter");
+  FMS_PROFILE_BYTES(flat.size() * sizeof(float));
   std::size_t pos = 0;
   for (Param* p : params_) {
     auto& g = p->grad.vec();
@@ -312,6 +328,7 @@ void Supernet::add_flat_grads(const std::vector<float>& flat) {
 }
 
 std::vector<float> Supernet::flat_values() {
+  FMS_PROFILE_ZONE("nas.gather");
   std::vector<float> flat;
   flat.reserve(param_count());
   for (Param* p : params_) {
@@ -321,6 +338,8 @@ std::vector<float> Supernet::flat_values() {
 }
 
 void Supernet::set_flat_values(const std::vector<float>& flat) {
+  FMS_PROFILE_ZONE("nas.scatter");
+  FMS_PROFILE_BYTES(flat.size() * sizeof(float));
   std::size_t pos = 0;
   for (Param* p : params_) {
     auto& v = p->value.vec();

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/net/trace.h"
+#include "src/obs/profile.h"
 #include "src/obs/span.h"
 
 namespace fms {
@@ -62,6 +63,7 @@ LatencyStats transmission_latency(const std::vector<std::size_t>& model_bytes,
                                   const std::vector<double>& bandwidth_bps,
                                   const std::vector<int>& assignment,
                                   bool average_size) {
+  FMS_PROFILE_ZONE("net.latency");
   const std::size_t k = bandwidth_bps.size();
   FMS_CHECK(assignment.size() == k && model_bytes.size() == k);
   double avg_bytes = 0.0;

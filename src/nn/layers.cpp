@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/profile.h"
+
 namespace fms {
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Conv2dSpec spec,
@@ -15,6 +17,8 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Conv2dSpec spec,
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  FMS_PROFILE_ZONE("nn.conv_fwd");
+  FMS_PROFILE_BYTES(x.numel() * sizeof(float));
   if (train) {
     cached_x_ = x;
     has_cache_ = true;
@@ -25,6 +29,8 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  FMS_PROFILE_ZONE("nn.conv_bwd");
+  FMS_PROFILE_BYTES(grad_out.numel() * sizeof(float));
   FMS_CHECK_MSG(has_cache_, "Conv2d::backward without train-mode forward");
   Conv2dGrads g = conv2d_backward(cached_x_, w_.value, grad_out, spec_);
   w_.grad += g.grad_w;
@@ -41,6 +47,8 @@ BatchNorm2d::BatchNorm2d(int channels, float eps, float momentum)
       running_var_(Tensor::full({channels}, 1.0F)) {}
 
 Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  FMS_PROFILE_ZONE("nn.bn_fwd");
+  FMS_PROFILE_BYTES(x.numel() * sizeof(float));
   FMS_CHECK(x.ndim() == 4 && x.dim(1) == channels_);
   const int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
   const std::size_t m = static_cast<std::size_t>(n) * h * w;
@@ -103,6 +111,8 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  FMS_PROFILE_ZONE("nn.bn_bwd");
+  FMS_PROFILE_BYTES(grad_out.numel() * sizeof(float));
   FMS_CHECK_MSG(has_cache_, "BatchNorm2d::backward without train forward");
   const Tensor& x = cached_x_;
   const int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
@@ -205,6 +215,7 @@ Linear::Linear(int in_features, int out_features, Rng& rng) {
 }
 
 Tensor Linear::forward(const Tensor& x, bool train) {
+  FMS_PROFILE_ZONE("nn.linear_fwd");
   FMS_CHECK(x.ndim() == 2 && x.dim(1) == w_.value.dim(1));
   if (train) {
     cached_x_ = x;
@@ -221,6 +232,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  FMS_PROFILE_ZONE("nn.linear_bwd");
   FMS_CHECK_MSG(has_cache_, "Linear::backward without train-mode forward");
   // grad_w = grad_out^T [N,out] x cached_x [N,in] -> [out,in]
   w_.grad += matmul_tn(grad_out, cached_x_);

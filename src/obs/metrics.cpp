@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 namespace fms::obs {
@@ -12,6 +13,20 @@ std::vector<double> default_time_buckets() {
       const double b = decade * step;
       if (b <= 100.0) bounds.push_back(b);
     }
+  }
+  return bounds;
+}
+
+std::vector<double> default_span_buckets() {
+  std::vector<double> bounds;
+  // 12 buckets per decade over [1e-7, 100]: 9 decades, 109 edges. The
+  // edge values are computed by repeated multiplication, which is exact
+  // enough (drift ~1e-13 relative over the whole range) and cheap.
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  double edge = 1e-7;
+  while (edge <= 100.0 * 1.0000001) {
+    bounds.push_back(edge);
+    edge *= ratio;
   }
   return bounds;
 }

@@ -171,6 +171,14 @@ class Histogram {
 // durations (sub-model transfers and local training both land well inside).
 std::vector<double> default_time_buckets();
 
+// Denser log-spaced buckets (12 per decade, 100ns..100s) used by
+// FMS_SPAN timers: the 1-2-5 grid is so coarse that every observation of
+// a sub-millisecond zone lands in one or two buckets and interpolated
+// p99 collapses toward the bucket edge. At ratio 10^(1/12) (~1.21x per
+// bucket) linear interpolation inside a bucket is off by at most ~10%
+// of the true value.
+std::vector<double> default_span_buckets();
+
 // Linear buckets {0, 1, ..., n} for integer-valued metrics (staleness tau).
 std::vector<double> linear_buckets(int n);
 

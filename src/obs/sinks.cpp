@@ -93,6 +93,18 @@ ConsoleRoundSink::ConsoleRoundSink(int every_n, std::FILE* out)
     : every_(every_n > 0 ? every_n : 1), out_(out) {}
 
 void ConsoleRoundSink::write(const TraceEvent& event) {
+  if (event.type == "span" && event.name == "round") {
+    // Smoothing factor 0.1: ~the last 10 rounds dominate, so the column
+    // settles fast after warm-up yet absorbs per-round jitter.
+    for (const auto& [key, value] : event.fields) {
+      if (key == "dur_s" && value > 0.0) {
+        ema_round_s_ =
+            have_ema_ ? 0.1 * value + 0.9 * ema_round_s_ : value;
+        have_ema_ = true;
+      }
+    }
+    return;
+  }
   if (event.type != "round" || event.round % every_ != 0) return;
   double reward = 0.0, moving = 0.0, arrived = 0.0, dropped = 0.0;
   for (const auto& [key, value] : event.fields) {
@@ -101,9 +113,21 @@ void ConsoleRoundSink::write(const TraceEvent& event) {
     else if (key == "arrived") arrived = value;
     else if (key == "dropped") dropped = value;
   }
-  std::fprintf(out_, "round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d\n",
-               event.round, reward, moving, static_cast<int>(arrived),
-               static_cast<int>(dropped));
+  if (have_ema_) {
+    std::fprintf(out_,
+                 "round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d"
+                 "  %.1f r/s  ema %.1f ms\n",
+                 event.round, reward, moving, static_cast<int>(arrived),
+                 static_cast<int>(dropped), 1.0 / ema_round_s_,
+                 ema_round_s_ * 1e3);
+  } else {
+    // The round record lands before its enclosing span closes, so the
+    // first printed line has no duration sample yet.
+    std::fprintf(out_,
+                 "round %4d  acc %.3f (moving %.3f)  arrived %d dropped %d\n",
+                 event.round, reward, moving, static_cast<int>(arrived),
+                 static_cast<int>(dropped));
+  }
 }
 
 void ConsoleRoundSink::flush() { std::fflush(out_); }

@@ -54,7 +54,10 @@ class JsonlTraceWriter : public TraceSink {
 };
 
 // Per-round progress one-liner (the examples' former on_round lambdas):
-//   round  25  acc 0.412 (moving 0.398)  arrived 10 dropped 0
+//   round  25  acc 0.412 (moving 0.398)  arrived 10 dropped 0  3.1 r/s  ema 322.6 ms
+// Throughput columns come from the "round" span the search loop already
+// emits: the sink keeps an exponential moving average of round wall time
+// and prints it (plus its reciprocal, rounds/sec) once a sample exists.
 class ConsoleRoundSink : public TraceSink {
  public:
   explicit ConsoleRoundSink(int every_n = 25, std::FILE* out = stdout);
@@ -65,6 +68,8 @@ class ConsoleRoundSink : public TraceSink {
  private:
   int every_;
   std::FILE* out_;
+  double ema_round_s_ = 0.0;  // EMA of "round" span durations
+  bool have_ema_ = false;
 };
 
 // Escapes a string for embedding in a JSON literal (quotes, backslashes,

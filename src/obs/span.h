@@ -11,14 +11,19 @@
 #include <chrono>
 #include <string>
 
+#include "src/obs/profile.h"
 #include "src/obs/telemetry.h"
 
 namespace fms::obs {
 
 class ScopedSpan {
  public:
+  // The embedded ScopedZone mirrors every span into the profiler tree
+  // (round -> sample/transmit/.../aggregate), so the --profile self-time
+  // table shows the same phase skeleton the span histograms use. It
+  // checks its own enable flag: spans and profiling toggle separately.
   explicit ScopedSpan(const char* phase)
-      : phase_(phase), active_(telemetry_enabled()) {
+      : phase_(phase), zone_(phase), active_(telemetry_enabled()) {
     if (active_) start_ = std::chrono::steady_clock::now();
   }
 
@@ -33,7 +38,7 @@ class ScopedSpan {
             .count();
     Telemetry& telemetry = Telemetry::instance();
     telemetry.registry()
-        .histogram(std::string("span.") + phase_)
+        .histogram(std::string("span.") + phase_, default_span_buckets())
         .observe(seconds);
     TraceEvent event;
     event.type = "span";
@@ -45,6 +50,7 @@ class ScopedSpan {
 
  private:
   const char* phase_;
+  ScopedZone zone_;
   bool active_;
   std::chrono::steady_clock::time_point start_;
 };

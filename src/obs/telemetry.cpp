@@ -1,5 +1,8 @@
 #include "src/obs/telemetry.h"
 
+#include "src/obs/alloc.h"
+#include "src/obs/profile.h"
+
 namespace fms::obs {
 
 Telemetry& Telemetry::instance() {
@@ -41,6 +44,8 @@ void Telemetry::set_label(std::string label) {
 
 void Telemetry::configure(const TelemetryConfig& cfg) {
   set_telemetry_enabled(cfg.enabled);
+  set_profiling_enabled(cfg.profile);
+  set_alloc_tracking_enabled(cfg.profile);
   std::lock_guard<std::mutex> lock(mu_);
   sinks_.clear();
   metrics_csv_path_ = cfg.metrics_csv_path;

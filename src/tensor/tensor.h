@@ -16,21 +16,66 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/obs/alloc.h"
 
 namespace fms {
 
+// Tensor storage is the only float buffer the search allocates in bulk,
+// so every acquisition/release below reports to the allocation ledger
+// (src/obs/alloc.h). "Alloc" means this tensor took ownership of live
+// bytes (fresh buffer, copy, or adopted vector); moves transfer
+// ownership and report nothing. The hooks cost one relaxed atomic load
+// when tracking is off.
 class Tensor {
  public:
   Tensor() = default;
 
   explicit Tensor(std::vector<int> shape, float fill = 0.0F)
-      : shape_(std::move(shape)), data_(checked_numel(shape_), fill) {}
+      : shape_(std::move(shape)), data_(checked_numel(shape_), fill) {
+    obs::track_alloc(storage_bytes());
+  }
 
   Tensor(std::vector<int> shape, std::vector<float> data)
       : shape_(std::move(shape)), data_(std::move(data)) {
     FMS_CHECK_MSG(data_.size() == checked_numel(shape_),
                   "data size does not match shape");
+    obs::track_alloc(storage_bytes());
   }
+
+  Tensor(const Tensor& o) : shape_(o.shape_), data_(o.data_) {
+    obs::track_alloc(storage_bytes());
+  }
+
+  Tensor(Tensor&& o) noexcept
+      : shape_(std::move(o.shape_)), data_(std::move(o.data_)) {
+    // Ownership of the live bytes moved with the buffer; make sure the
+    // source really is empty so its destructor releases nothing.
+    o.shape_.clear();
+    o.data_.clear();
+  }
+
+  Tensor& operator=(const Tensor& o) {
+    if (this != &o) {
+      obs::track_free(storage_bytes());
+      shape_ = o.shape_;
+      data_ = o.data_;
+      obs::track_alloc(storage_bytes());
+    }
+    return *this;
+  }
+
+  Tensor& operator=(Tensor&& o) noexcept {
+    if (this != &o) {
+      obs::track_free(storage_bytes());
+      shape_ = std::move(o.shape_);
+      data_ = std::move(o.data_);
+      o.shape_.clear();
+      o.data_.clear();
+    }
+    return *this;
+  }
+
+  ~Tensor() { obs::track_free(storage_bytes()); }
 
   static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
 
@@ -57,13 +102,11 @@ class Tensor {
 
   bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
 
-  // Reshape to a view-compatible shape (numel must match).
+  // Reshape to a view-compatible shape (numel must match). Routed
+  // through the adopting constructor so the copy hits the ledger.
   Tensor reshaped(std::vector<int> shape) const {
-    Tensor t;
-    t.shape_ = std::move(shape);
-    FMS_CHECK(checked_numel(t.shape_) == data_.size());
-    t.data_ = data_;
-    return t;
+    FMS_CHECK(checked_numel(shape) == data_.size());
+    return Tensor(std::move(shape), data_);
   }
 
   // --- element access ---
@@ -132,6 +175,8 @@ class Tensor {
   std::string shape_str() const;
 
  private:
+  std::size_t storage_bytes() const { return data_.size() * sizeof(float); }
+
   static std::size_t checked_numel(const std::vector<int>& shape) {
     std::size_t n = 1;
     for (int d : shape) {

@@ -1,0 +1,14 @@
+// Fixture: the fms_bench timestamp idiom. A run-metadata wall-clock read
+// is legitimate when annotated (it stamps BENCH_perf.json, it never feeds
+// a measurement); the exemption must stay narrow — an unannotated read in
+// the same file still fires.
+#include <ctime>
+
+long long bench_metadata_stamp() {
+  // fms-lint: allow(wall-clock) -- metadata timestamp, not measurement
+  return static_cast<long long>(std::time(nullptr));
+}
+
+long long unannotated_stamp() {
+  return static_cast<long long>(std::time(nullptr));
+}

@@ -76,6 +76,14 @@ TEST(FmsLint, SuppressionsSilenceEveryRule) {
   EXPECT_TRUE(lint_file(fixture("core/suppressed_unordered.cpp")).empty());
 }
 
+TEST(FmsLint, WallClockExemptionIsNarrow) {
+  // The fms_bench timestamp idiom: an annotated metadata std::time read
+  // passes, but the exemption does not bleed onto an unannotated read
+  // elsewhere in the same file.
+  EXPECT_EQ(rule_lines(lint_file(fixture("bench_timestamp.cpp"))),
+            (RL{{"wall-clock", 13}}));
+}
+
 TEST(FmsLint, CleanFilesProduceNoFindings) {
   EXPECT_TRUE(lint_file(fixture("clean.cpp")).empty());
   EXPECT_TRUE(lint_file(fixture("clean.h")).empty());

@@ -1,6 +1,7 @@
 // Tests for the telemetry subsystem (src/obs): histogram buckets and
 // quantiles, counter/gauge concurrency under the thread pool, JSONL trace
 // output, span recording, and the disabled-telemetry fast path.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -298,6 +299,37 @@ TEST_F(ObsTest, ConsoleRoundSinkHonorsCadence) {
   while (std::fgets(buf, sizeof(buf), tmp) != nullptr) ++lines;
   std::fclose(tmp);
   EXPECT_EQ(lines, 3);  // rounds 0, 10, 20
+}
+
+TEST_F(ObsTest, SpanBucketsPinSubMillisecondQuantileError) {
+  // FMS_SPAN histograms use the dense 12-per-decade grid: on the coarse
+  // 1-2-5 grid every sub-millisecond zone collapses into one or two
+  // buckets and interpolated p99 is off by up to ~60%. Pin the grid's
+  // shape and its promised error bound on synthetic sub-ms durations.
+  const std::vector<double> edges = default_span_buckets();
+  ASSERT_GE(edges.size(), 100U);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e-7);
+  EXPECT_NEAR(edges.back(), 100.0, 5.0);
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_NEAR(edges[i] / edges[i - 1], ratio, 1e-9) << "edge " << i;
+  }
+
+  Histogram h(edges);
+  constexpr int kN = 2000;
+  std::vector<double> values;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    // 50us .. 950us, uniform — the regime the old grid flattened.
+    const double v = 50e-6 + (900e-6 * i) / (kN - 1);
+    values.push_back(v);
+    h.observe(v);
+  }
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double exact = values[static_cast<std::size_t>(q * (kN - 1))];
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est, exact, 0.10 * exact) << "q = " << q;
+  }
 }
 
 TEST_F(ObsTest, DefaultBucketHelpers) {

@@ -10,6 +10,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "src/core/search.h"
 #include "src/data/synth.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sinks.h"
 #include "src/obs/telemetry.h"
 
 namespace fms {
@@ -149,6 +153,49 @@ TEST(TsanSearch, ParallelRoundsOnSharedTelemetryStayDeterministic) {
   EXPECT_EQ(parallel_a.bytes_down, serial_a.bytes_down);
   EXPECT_EQ(parallel_b.rewards, serial_b.rewards);
   EXPECT_EQ(parallel_b.bytes_down, serial_b.bytes_down);
+}
+
+TEST(TsanTrace, JsonlWriterIsLineAtomicUnderThreadPool) {
+  // N pool workers blast interleaved span events at one JsonlTraceWriter.
+  // The sink's contract is line atomicity: the file must hold exactly one
+  // complete, parseable JSON object per line no matter how writes race.
+  const std::string path = "fms_tsan_trace.jsonl";
+  constexpr std::size_t kEvents = 2000;
+  constexpr int kWorkers = 8;
+  {
+    obs::JsonlTraceWriter writer(path);
+    ThreadPool pool(kWorkers);
+    pool.parallel_for(kEvents, [&](std::size_t i) {
+      obs::TraceEvent ev;
+      ev.type = "span";
+      ev.name = "tsan.zone." + std::to_string(i % 5);
+      ev.round = static_cast<int>(i);
+      ev.label = "tsan";
+      ev.fields.emplace_back("dur_s", 1e-6 * static_cast<double>(i));
+      ev.fields.emplace_back("worker", static_cast<double>(i % kWorkers));
+      writer.write(ev);
+    });
+    writer.flush();
+    EXPECT_EQ(writer.events_written(), kEvents);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line " << lines;
+    // One balanced JSON object per line — a torn write would break the
+    // brace balance or leave an unterminated string.
+    ASSERT_EQ(line.front(), '{') << "line " << lines;
+    ASSERT_EQ(line.back(), '}') << "line " << lines;
+    ASSERT_NE(line.find("\"type\":\"span\""), std::string::npos)
+        << "line " << lines;
+    ASSERT_NE(line.find("\"dur_s\":"), std::string::npos) << "line " << lines;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kEvents);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// The benchmark suite. Every benchmark is seeded and sized so that one
+// repetition finishes in well under a second on a laptop core while
+// still exercising the production code path (no toy stand-ins): micro
+// kernels (conv/BN/linear, tensor axpy), the supernet's mask/gather/
+// scatter plumbing, every aggregation estimator at m in {10, 50},
+// checkpoint serialize/restore, message codecs, transmission scheduling,
+// and whole warm-up / search rounds as macro benches.
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/agg/aggregator.h"
+#include "src/core/checkpoint.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/fed/messages.h"
+#include "src/nas/supernet.h"
+#include "src/net/transmission.h"
+#include "src/nn/layers.h"
+#include "src/tensor/tensor.h"
+#include "tools/fms_bench/bench.h"
+
+namespace fms::bench {
+namespace {
+
+SearchConfig bench_search_config() {
+  SearchConfig cfg;
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 4;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 8;
+  cfg.schedule.num_participants = 4;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+struct SearchState {
+  TrainTest data;
+  std::unique_ptr<FederatedSearch> search;
+};
+
+std::shared_ptr<SearchState> make_search_state(std::uint64_t seed) {
+  Rng rng(seed);
+  SynthSpec spec;
+  spec.train_size = 160;
+  spec.test_size = 40;
+  spec.image_size = 8;
+  TrainTest data = make_synth_c10(spec, rng);
+  SearchConfig cfg = bench_search_config();
+  auto parts =
+      iid_partition(data.train.size(), cfg.schedule.num_participants, rng);
+  // The dataset must land at its final heap address before the search is
+  // built: participants keep pointers into it.
+  auto state =
+      std::make_shared<SearchState>(SearchState{std::move(data), nullptr});
+  state->search =
+      std::make_unique<FederatedSearch>(cfg, state->data.train, parts);
+  return state;
+}
+
+// m updates of dimension d, deterministic content.
+std::vector<std::vector<float>> make_updates(std::size_t m, std::size_t d,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> u(m);
+  for (auto& v : u) {
+    v.resize(d);
+    for (auto& x : v) x = rng.normal(0.0F, 0.1F);
+  }
+  return u;
+}
+
+Benchmark agg_bench(const std::string& name, const std::string& spec,
+                    std::size_t m, std::size_t d, int iters) {
+  return Benchmark{
+      name, iters, [spec, m, d]() -> std::function<void()> {
+        auto updates =
+            std::make_shared<std::vector<std::vector<float>>>(
+                make_updates(m, d, 0xA66 + m));
+        agg::AggregatorConfig cfg = agg::AggregatorConfig::parse(spec);
+        return [updates, cfg] {
+          agg::AggregationOutcome out = agg::aggregate(cfg, *updates);
+          (void)out;
+        };
+      }};
+}
+
+}  // namespace
+
+std::vector<Benchmark> default_benchmarks() {
+  std::vector<Benchmark> list;
+
+  // --- micro: per-op kernels ---
+  list.push_back({"nn.conv3x3_fwd", 40, []() -> std::function<void()> {
+                    Rng rng(1);
+                    auto conv = std::make_shared<Conv2d>(
+                        8, 8, 3, Conv2dSpec{1, 1, 1, 1}, rng);
+                    auto x = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    return [conv, x] { conv->forward(*x, /*train=*/false); };
+                  }});
+  list.push_back({"nn.conv3x3_fwd_bwd", 20, []() -> std::function<void()> {
+                    Rng rng(2);
+                    auto conv = std::make_shared<Conv2d>(
+                        8, 8, 3, Conv2dSpec{1, 1, 1, 1}, rng);
+                    auto x = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    auto g = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    return [conv, x, g] {
+                      conv->forward(*x, /*train=*/true);
+                      conv->backward(*g);
+                    };
+                  }});
+  list.push_back({"nn.bn_fwd", 60, []() -> std::function<void()> {
+                    Rng rng(3);
+                    auto bn = std::make_shared<BatchNorm2d>(8);
+                    auto x = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    return [bn, x] { bn->forward(*x, /*train=*/false); };
+                  }});
+  list.push_back({"nn.bn_fwd_bwd", 30, []() -> std::function<void()> {
+                    Rng rng(4);
+                    auto bn = std::make_shared<BatchNorm2d>(8);
+                    auto x = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    auto g = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    return [bn, x, g] {
+                      bn->forward(*x, /*train=*/true);
+                      bn->backward(*g);
+                    };
+                  }});
+  list.push_back({"nn.sep_conv_fwd", 10, []() -> std::function<void()> {
+                    Rng rng(5);
+                    auto op = std::shared_ptr<Module>(
+                        make_sep_conv(8, 3, 1, rng));
+                    auto x = std::make_shared<Tensor>(
+                        Tensor::randn({4, 8, 8, 8}, rng));
+                    return [op, x] { op->forward(*x, /*train=*/false); };
+                  }});
+  list.push_back({"tensor.axpy_64k", 200, []() -> std::function<void()> {
+                    Rng rng(6);
+                    auto a = std::make_shared<Tensor>(
+                        Tensor::randn({65536}, rng));
+                    auto b = std::make_shared<Tensor>(
+                        Tensor::randn({65536}, rng));
+                    return [a, b] { *a += *b; };
+                  }});
+
+  // --- micro: supernet parameter plumbing ---
+  list.push_back({"nas.mask_ids", 20, []() -> std::function<void()> {
+                    Rng rng(7);
+                    SearchConfig cfg = bench_search_config();
+                    auto net =
+                        std::make_shared<Supernet>(cfg.supernet, rng);
+                    auto mask = std::make_shared<Mask>(
+                        random_mask(net->num_edges(), rng));
+                    return [net, mask] { net->masked_param_ids(*mask); };
+                  }});
+  list.push_back({"nas.gather_scatter", 15, []() -> std::function<void()> {
+                    Rng rng(8);
+                    SearchConfig cfg = bench_search_config();
+                    auto net =
+                        std::make_shared<Supernet>(cfg.supernet, rng);
+                    const Mask mask = random_mask(net->num_edges(), rng);
+                    auto ids = std::make_shared<std::vector<std::size_t>>(
+                        net->masked_param_ids(mask));
+                    return [net, ids] {
+                      std::vector<float> flat = net->gather_values(*ids);
+                      net->scatter_add_grads(*ids, flat);
+                    };
+                  }});
+  list.push_back({"nas.densify_presence", 10, []() -> std::function<void()> {
+                    Rng rng(9);
+                    SearchConfig cfg = bench_search_config();
+                    auto net =
+                        std::make_shared<Supernet>(cfg.supernet, rng);
+                    const Mask mask = random_mask(net->num_edges(), rng);
+                    auto ids = std::make_shared<std::vector<std::size_t>>(
+                        net->masked_param_ids(mask));
+                    auto flat = std::make_shared<std::vector<float>>(
+                        net->gather_values(*ids));
+                    return [net, ids, flat] {
+                      net->dense_from_masked(*ids, *flat);
+                      net->presence_from_masked(*ids);
+                    };
+                  }});
+
+  // --- micro: aggregation estimators at m in {10, 50} ---
+  list.push_back(agg_bench("agg.mean_m10", "mean", 10, 20000, 20));
+  list.push_back(agg_bench("agg.clipped_mean_m50", "clipped_mean:3", 50,
+                           4000, 10));
+  list.push_back(
+      agg_bench("agg.coordinate_median_m10", "coordinate_median", 10, 20000,
+                5));
+  list.push_back(
+      agg_bench("agg.trimmed_mean_m50", "trimmed_mean:5", 50, 4000, 5));
+  list.push_back(agg_bench("agg.krum_m10", "krum:2", 10, 4000, 5));
+
+  // --- micro: serialization + transport ---
+  list.push_back({"fed.msg_roundtrip", 20, []() -> std::function<void()> {
+                    Rng rng(10);
+                    auto msg = std::make_shared<UpdateMsg>();
+                    msg->round = 5;
+                    msg->participant = 2;
+                    msg->reward = 0.4F;
+                    msg->loss = 1.2F;
+                    msg->grads.resize(20000);
+                    for (auto& g : msg->grads) g = rng.normal(0.0F, 0.1F);
+                    return [msg] {
+                      UpdateMsg::deserialize(msg->serialize());
+                    };
+                  }});
+  list.push_back({"net.transmission_m50", 50, []() -> std::function<void()> {
+                    auto rng = std::make_shared<Rng>(11);
+                    auto bytes =
+                        std::make_shared<std::vector<std::size_t>>();
+                    auto bw = std::make_shared<std::vector<double>>();
+                    for (int p = 0; p < 50; ++p) {
+                      bytes->push_back(
+                          static_cast<std::size_t>(100000 + 997 * p));
+                      bw->push_back(1e6 + 3.7e4 * p);
+                    }
+                    return [rng, bytes, bw] {
+                      const std::vector<int> assignment = assign_models(
+                          *bytes, *bw, AssignStrategy::kAdaptive, *rng);
+                      transmission_latency(*bytes, *bw, assignment,
+                                           /*average_size=*/false);
+                    };
+                  }});
+
+  // --- macro: checkpoint serialize / restore ---
+  list.push_back({"ckpt.serialize", 4, []() -> std::function<void()> {
+                    auto state = make_search_state(0xC4B1);
+                    state->search->run_warmup(1);
+                    return [state] {
+                      state->search->checkpoint().serialize();
+                    };
+                  }});
+  list.push_back({"ckpt.restore", 4, []() -> std::function<void()> {
+                    auto state = make_search_state(0xC4B2);
+                    state->search->run_warmup(1);
+                    auto bytes =
+                        std::make_shared<std::vector<std::uint8_t>>(
+                            state->search->checkpoint().serialize());
+                    return [state, bytes] {
+                      state->search->restore(
+                          SearchCheckpoint::deserialize(*bytes));
+                    };
+                  }});
+
+  // --- macro: full federated rounds ---
+  list.push_back({"fed.round_warmup", 1, []() -> std::function<void()> {
+                    auto state = make_search_state(0xF00D);
+                    return [state] { state->search->run_warmup(1); };
+                  }});
+  list.push_back({"fed.round_search", 1, []() -> std::function<void()> {
+                    auto state = make_search_state(0xF00E);
+                    state->search->run_warmup(2);
+                    auto opts = std::make_shared<SearchOptions>();
+                    opts->stale_policy = StalePolicy::kCompensate;
+                    opts->staleness = StalenessDistribution::severe();
+                    return [state, opts] {
+                      state->search->run_search(1, *opts);
+                    };
+                  }});
+
+  return list;
+}
+
+}  // namespace fms::bench

@@ -1,0 +1,140 @@
+// fms_bench CLI.
+//
+//   fms_bench [--out BENCH_perf.json] [--filter SUBSTR]
+//             [--repeats K] [--warmup W] [--quick] [--list] [--profile]
+//   fms_bench --compare OLD.json NEW.json [--gate PCT]
+//
+// Run mode emits the benchmark suite's BENCH_perf.json; compare mode
+// diffs two such files and exits 1 when any shared benchmark's median
+// regressed by more than --gate percent (default 10). Exit code 2 means
+// usage or parse error.
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/obs/profile.h"
+#include "tools/fms_bench/bench.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  fms_bench [options]                      run the suite
+  fms_bench --compare OLD NEW [--gate PCT] gate NEW against OLD
+
+options:
+  --out PATH      output JSON path (default BENCH_perf.json)
+  --filter SUBSTR run only benchmarks whose name contains SUBSTR
+  --repeats K     timed repetitions per benchmark (default 9)
+  --warmup W      discarded warm-up repetitions (default 3)
+  --quick         repeats=3 warmup=1 (smoke-test mode)
+  --profile       print the merged self-time table after the run
+  --list          list benchmark names and exit
+  --gate PCT      regression gate percentage for --compare (default 10)
+)";
+
+int run_compare(const std::string& old_path, const std::string& new_path,
+                double gate_pct) {
+  const fms::bench::BenchFile oldf = fms::bench::load_bench_file(old_path);
+  const fms::bench::BenchFile newf = fms::bench::load_bench_file(new_path);
+  const fms::bench::CompareOutcome outcome =
+      fms::bench::compare_bench_files(oldf, newf, gate_pct);
+  std::fputs(fms::bench::format_compare(outcome).c_str(), stdout);
+  return outcome.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  std::string compare_old;
+  std::string compare_new;
+  bool list_only = false;
+  bool profile_table = false;
+  double gate_pct = 10.0;
+  fms::bench::RunOptions opts;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      auto need_value = [&](const char* flag) -> const char* {
+        FMS_CHECK_MSG(i + 1 < argc, "missing value for " << flag);
+        return argv[++i];
+      };
+      if (std::strcmp(arg, "--out") == 0) {
+        out_path = need_value("--out");
+      } else if (std::strcmp(arg, "--filter") == 0) {
+        opts.filter = need_value("--filter");
+      } else if (std::strcmp(arg, "--repeats") == 0) {
+        opts.repeats = std::stoi(need_value("--repeats"));
+      } else if (std::strcmp(arg, "--warmup") == 0) {
+        opts.warmup = std::stoi(need_value("--warmup"));
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        opts.repeats = 3;
+        opts.warmup = 1;
+      } else if (std::strcmp(arg, "--profile") == 0) {
+        profile_table = true;
+      } else if (std::strcmp(arg, "--list") == 0) {
+        list_only = true;
+      } else if (std::strcmp(arg, "--gate") == 0) {
+        gate_pct = std::stod(need_value("--gate"));
+      } else if (std::strcmp(arg, "--compare") == 0) {
+        compare_old = need_value("--compare");
+        FMS_CHECK_MSG(i + 1 < argc, "--compare needs OLD and NEW paths");
+        compare_new = argv[++i];
+      } else if (std::strcmp(arg, "--help") == 0 ||
+                 std::strcmp(arg, "-h") == 0) {
+        std::fputs(kUsage, stdout);
+        return 0;
+      } else {
+        FMS_CHECK_MSG(false, "unknown flag " << arg);
+      }
+    }
+
+    if (!compare_old.empty()) {
+      return run_compare(compare_old, compare_new, gate_pct);
+    }
+
+    const std::vector<fms::bench::Benchmark> suite =
+        fms::bench::default_benchmarks();
+    if (list_only) {
+      for (const fms::bench::Benchmark& b : suite) {
+        std::printf("%s\n", b.name.c_str());
+      }
+      return 0;
+    }
+
+    if (profile_table) {
+      fms::obs::set_profiling_enabled(true);
+      fms::obs::reset_profiler();
+    }
+    const std::vector<fms::bench::BenchResult> results =
+        fms::bench::run_benchmarks(suite, opts, [](const std::string& line) {
+          std::printf("%s\n", line.c_str());
+        });
+    FMS_CHECK_MSG(!results.empty(), "no benchmark matched the filter");
+    if (profile_table) {
+      std::printf("\n-- merged self-time table (timed repetitions) --\n%s",
+                  fms::obs::self_time_table(fms::obs::collect_profile())
+                      .c_str());
+      fms::obs::set_profiling_enabled(false);
+    }
+
+    // Wall-clock stamp so archived BENCH_perf.json files order
+    // themselves into a trajectory; it never influences a measurement.
+    // fms-lint: allow(wall-clock) -- metadata timestamp, not measurement
+    const long long stamp = static_cast<long long>(std::time(nullptr));
+    std::ofstream f(out_path);
+    FMS_CHECK_MSG(f.good(), "cannot open " << out_path);
+    f << fms::bench::to_json(results, stamp);
+    std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
+                results.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fms_bench: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+}
