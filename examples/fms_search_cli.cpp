@@ -19,6 +19,7 @@
 #include "src/nas/discrete_net.h"
 #include "src/nas/dot_export.h"
 #include "src/obs/alloc.h"
+#include "src/obs/health.h"
 #include "src/obs/profile.h"
 #include "src/obs/telemetry.h"
 
@@ -55,6 +56,16 @@ const char* kUsage =
     "                        allocation totals after the run (adds per-zone\n"
     "                        \"profile\" events to --trace-jsonl). Off by\n"
     "                        default: results are bit-identical either way\n"
+    "  --trace-chrome PATH   export the per-participant round lifecycle as\n"
+    "                        Chrome trace-event JSON (sim-time ticks; load\n"
+    "                        at ui.perfetto.dev). '=PATH' form also accepted\n"
+    "  --health-report PATH  write the search-health monitor's machine-\n"
+    "                        readable health.json at the end of the run\n"
+    "  --flight-recorder N   keep the last N lifecycle events per\n"
+    "                        participant; dumped to --flight-dump on crash,\n"
+    "                        quorum failure, or any health CRIT transition\n"
+    "  --flight-dump PATH    flight-recorder dump target\n"
+    "                        (default fms_flight.jsonl)\n"
     "\n"
     "robustness flags:\n"
     "  --aggregator SPEC     theta gradient estimator: mean (default),\n"
@@ -83,6 +94,10 @@ int main(int argc, char** argv) {
   std::string metrics_csv;
   int progress_every = 25;
   bool profile = false;
+  std::string trace_chrome;
+  std::string health_report;
+  int flight_recorder = 0;
+  std::string flight_dump;
   std::uint64_t seed = 42;
   std::string fault_plan_spec;
   double quorum = 1.0;
@@ -101,6 +116,15 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // "--flag=VALUE" form (the scripting-friendly spelling; the
+    // space-separated form works for every flag as well).
+    auto eq_value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (!std::strncmp(argv[i], flag, n) && argv[i][n] == '=') {
+        return argv[i] + n + 1;
+      }
+      return nullptr;
     };
     if (!std::strcmp(argv[i], "--participants")) {
       participants = std::atoi(need_value("--participants"));
@@ -128,6 +152,22 @@ int main(int argc, char** argv) {
       progress_every = std::atoi(need_value("--progress-every"));
     } else if (!std::strcmp(argv[i], "--profile")) {
       profile = true;
+    } else if (!std::strcmp(argv[i], "--trace-chrome")) {
+      trace_chrome = need_value("--trace-chrome");
+    } else if (const char* v1 = eq_value("--trace-chrome")) {
+      trace_chrome = v1;
+    } else if (!std::strcmp(argv[i], "--health-report")) {
+      health_report = need_value("--health-report");
+    } else if (const char* v2 = eq_value("--health-report")) {
+      health_report = v2;
+    } else if (!std::strcmp(argv[i], "--flight-recorder")) {
+      flight_recorder = std::atoi(need_value("--flight-recorder"));
+    } else if (const char* v3 = eq_value("--flight-recorder")) {
+      flight_recorder = std::atoi(v3);
+    } else if (!std::strcmp(argv[i], "--flight-dump")) {
+      flight_dump = need_value("--flight-dump");
+    } else if (const char* v4 = eq_value("--flight-dump")) {
+      flight_dump = v4;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--fault-plan")) {
@@ -158,7 +198,7 @@ int main(int argc, char** argv) {
   }
   if (participants < 1 || rounds < 0 || warmup < 0 || quorum <= 0.0 ||
       quorum > 1.0 || timeout_s < 0.0 || checkpoint_every < 0 ||
-      winsorize_k < 0.0 || adaptive_screen_k < 0.0 ||
+      winsorize_k < 0.0 || adaptive_screen_k < 0.0 || flight_recorder < 0 ||
       (baseline_mode != "mean" && baseline_mode != "median")) {
     std::fprintf(stderr, "invalid arguments\n%s", kUsage);
     return 2;
@@ -196,6 +236,14 @@ int main(int argc, char** argv) {
   cfg.telemetry.trace_jsonl_path = trace_jsonl;
   cfg.telemetry.metrics_csv_path = metrics_csv;
   cfg.telemetry.profile = profile;
+  cfg.telemetry.trace_chrome_path = trace_chrome;
+  // The health monitor is always on in the CLI: it only observes the
+  // round stream (bit-identical results) and the exit summary below is
+  // the operator's first stop when a campaign misbehaves.
+  cfg.telemetry.health = true;
+  cfg.telemetry.health_report_path = health_report;
+  cfg.telemetry.flight_recorder = flight_recorder;
+  cfg.telemetry.flight_dump_path = flight_dump;
 
   SearchOptions opts;
   if (staleness == "severe") {
@@ -305,6 +353,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rs.winsorized_rewards));
   }
 
+  // Search-health summary: per-detector state, windowed value, thresholds.
+  if (search.health() != nullptr) {
+    std::printf("\n%s", search.health()->summary_table().c_str());
+    if (!health_report.empty()) {
+      search.health()->write_report(health_report);
+      std::printf("health report written to %s\n", health_report.c_str());
+    }
+  }
+
   Genotype genotype = search.derive();
   std::printf("searched: %s\n", genotype.to_string().c_str());
   std::printf("payload: supernet %.1f KB vs avg sub-model %.1f KB\n",
@@ -339,6 +396,10 @@ int main(int argc, char** argv) {
   obs::Telemetry::instance().finish();  // flush trace, write metrics CSV
   if (!trace_jsonl.empty()) {
     std::printf("telemetry trace written to %s\n", trace_jsonl.c_str());
+  }
+  if (!trace_chrome.empty()) {
+    std::printf("chrome trace written to %s (load at ui.perfetto.dev)\n",
+                trace_chrome.c_str());
   }
   if (!metrics_csv.empty()) {
     std::printf("metrics snapshot written to %s\n", metrics_csv.c_str());

@@ -79,6 +79,20 @@ struct TelemetryConfig {
   // Off by default: the disabled path is one relaxed atomic load per zone
   // and search output is bit-identical either way.
   bool profile = false;
+  // Causal round tracing (src/obs/trace_ctx): a non-empty path exports the
+  // per-participant lifecycle as Chrome trace-event JSON (sim-time ticks;
+  // load at ui.perfetto.dev). Bit-identical on/off, like the profiler.
+  std::string trace_chrome_path;
+  // Online search-health monitor (src/obs/health): windowed OK/WARN/CRIT
+  // detectors over the round stream. A non-empty report path implies
+  // health and writes health.json at the end of the run.
+  bool health = false;
+  std::string health_report_path;
+  // Crash flight recorder (src/obs/flight): > 0 keeps the last N lifecycle
+  // events per participant and dumps them to flight_dump_path on crash,
+  // quorum failure, or any health CRIT transition.
+  int flight_recorder = 0;
+  std::string flight_dump_path;
 };
 
 struct SearchConfig {

@@ -10,9 +10,12 @@
 
 #include "src/common/serialize.h"
 #include "src/nn/optim.h"
+#include "src/obs/alloc.h"
+#include "src/obs/health.h"
 #include "src/obs/profile.h"
 #include "src/obs/span.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/trace_ctx.h"
 #include "src/tensor/ops.h"
 
 namespace fms {
@@ -37,8 +40,12 @@ FederatedSearch::FederatedSearch(const SearchConfig& cfg,
       pool_(/*staleness_threshold=*/5),
       moving_(50) {
   if (cfg.telemetry.enabled) {
-    obs::Telemetry::instance().configure(cfg.telemetry);
+    obs::Telemetry::instance().configure(cfg.telemetry, cfg.seed);
     owns_telemetry_ = true;
+  }
+  if (cfg.telemetry.enabled &&
+      (cfg.telemetry.health || !cfg.telemetry.health_report_path.empty())) {
+    health_ = std::make_unique<obs::HealthMonitor>();
   }
   staleness_rng_ = rng_.fork();
   Rng net_rng = rng_.fork();
@@ -56,6 +63,9 @@ FederatedSearch::FederatedSearch(const SearchConfig& cfg,
 }
 
 FederatedSearch::~FederatedSearch() {
+  if (health_ && !cfg_.telemetry.health_report_path.empty()) {
+    health_->write_report(cfg_.telemetry.health_report_path);
+  }
   if (owns_telemetry_) obs::Telemetry::instance().finish();
 }
 
@@ -98,6 +108,12 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   const int k = num_participants();
   const bool telemetry = obs::telemetry_enabled();
   if (telemetry) obs::Telemetry::instance().set_round(t);
+  // Causal tracing (src/obs/trace_ctx): every hook below is purely
+  // observational — no RNG draw, no float op — so the search trajectory is
+  // bit-identical with tracing on or off (pinned by test).
+  const bool tracing = obs::tracing_enabled();
+  obs::TraceContext& trace = obs::TraceContext::instance();
+  if (tracing) trace.begin_round(t);
   FMS_SPAN("round");
   RoundRecord rec;
   rec.round = t;
@@ -203,6 +219,12 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         std::isfinite(deadline)
             ? deadline
             : (cands.empty() ? 0.0 : cands.back());
+    if (tracing) {
+      // Server-track commit event at the deadline tick.
+      trace.record(-1, obs::Stage::kQuorum, rec.commit_latency_s, 0.0,
+                   rec.commit_latency_s,
+                   rec.partial_quorum ? "partial" : "full");
+    }
   }
 
   // --- dispatch, local training, delayed arrival (lines 12-15) ---
@@ -233,13 +255,18 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     const auto ui = static_cast<std::size_t>(i);
     // Staleness draws happen for every participant — even offline ones —
     // so faulty and fault-free runs consume the same staleness stream.
-    const int tau_draw = soft_sync ? opts.staleness.sample(staleness_rng_) : 0;
+    const int tau_draw =
+        soft_sync ? opts.staleness.sample_traced(staleness_rng_, i) : 0;
     if (offline[ui] != 0) {
       ++rec.offline;
       if (injector.is_crashed(i, t)) {
         ++fault_stats_.injected_crash;
+        if (tracing) trace.record(i, obs::Stage::kDrop, 0.0, 0.0, 0.0, "crash");
       } else {
         ++fault_stats_.injected_dropout;
+        if (tracing) {
+          trace.record(i, obs::Stage::kDrop, 0.0, 0.0, 0.0, "dropout");
+        }
       }
       ++fault_stats_.dropped;  // no reply ever arrives
       continue;
@@ -249,6 +276,11 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       fault_stats_.retransmits += static_cast<std::uint64_t>(
           links[ui].retransmits);
       rec.retransmits += links[ui].retransmits;
+      if (tracing) {
+        trace.record(i, obs::Stage::kFault, 0.0, links[ui].extra_seconds,
+                     static_cast<double>(links[ui].retransmits),
+                     link_dead[ui] != 0 ? "link:dead" : "link:recovered");
+      }
       if (link_dead[ui] != 0) {
         ++fault_stats_.dropped;  // every attempt failed
       } else {
@@ -259,6 +291,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       // Dead link: the download never lands, so no payload is built and no
       // bytes are charged — the server simply skips this participant.
       ++rec.dropped;
+      if (tracing) trace.record(i, obs::Stage::kDrop, 0.0, 0.0, 0.0, "link_dead");
       continue;
     }
     const std::optional<FaultKind> pf =
@@ -301,8 +334,18 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     submodel_bytes_sum_ += down;
     ++submodel_count_;
     if (down_hist != nullptr) down_hist->observe(static_cast<double>(down));
+    if (tracing) {
+      trace.record(i, obs::Stage::kDispatch, 0.0, 0.0,
+                   static_cast<double>(down));
+    }
 
     UpdateMsg upd = participants_[ui]->train_step(msg);
+    if (tracing) {
+      // Local training lands at the end of the modeled download window;
+      // value carries the reported training accuracy.
+      trace.record(i, obs::Stage::kLocalTrain, latency[ui], 0.0,
+                   static_cast<double>(upd.reward));
+    }
     if (opts.codec != Codec::kFloat32) {
       upd.grads = codec_round_trip(upd.grads, opts.codec);
     }
@@ -328,6 +371,10 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       }
       injector.attack(upd, *byz, i, t);
     }
+    if (tracing && uf.has_value()) {
+      trace.record(i, obs::Stage::kFault, latency[ui], 0.0, 0.0,
+                   fault_kind_name(*uf));
+    }
     const std::size_t up = payload_bytes(upd.mask, upd.grads.size()) + 8;
     rec.bytes_up += up;
     if (up_hist != nullptr) up_hist->observe(static_cast<double>(up));
@@ -342,12 +389,19 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       } else {
         ++rec.dropped;
         account_payload_drop(uf);
+        if (tracing) {
+          trace.record(i, obs::Stage::kDrop, latency[ui], 0.0, 0.0, "late");
+        }
         continue;
       }
     }
     if (tau == kExceedsThreshold || tau > pool_.threshold()) {
       ++rec.dropped;  // beyond the staleness threshold: never applied
       account_payload_drop(uf);
+      if (tracing) {
+        trace.record(i, obs::Stage::kDrop, latency[ui], 0.0,
+                     static_cast<double>(tau), "stale_overflow");
+      }
       continue;
     }
     arrivals_[t + tau].push_back(std::move(upd));
@@ -363,6 +417,9 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   // below can choose between the exact Eq. 13 mean and a robust estimator.
   std::vector<std::vector<std::size_t>> applied_ids;
   std::vector<std::vector<float>> applied_grads;
+  // (participant, dispatch round) of each accepted update, so the
+  // aggregate phase can attribute estimator verdicts to causal traces.
+  std::vector<std::pair<int, int>> applied_from;
   double reward_sum = 0.0;
   double tau_sum = 0.0;
   int m = 0;
@@ -397,6 +454,11 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       for (UpdateMsg& upd : due->second) {
         const int tau = t - upd.round;
         if (tau_hist != nullptr) tau_hist->observe(static_cast<double>(tau));
+        if (tracing) {
+          trace.record(upd.participant, obs::Stage::kArrive, 0.0, 0.0,
+                       static_cast<double>(tau),
+                       tau > 0 ? "stale" : "fresh", upd.round);
+        }
         // The injector is stateless, so the fault attached to this update
         // (possibly from an earlier round) is re-derived, not stored. Same
         // precedence as the dispatch site: payload fault, else Byzantine.
@@ -431,12 +493,22 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
           if (opts.stale_policy == StalePolicy::kDrop) {
             ++rec.dropped;
             if (pf.has_value()) ++fault_stats_.dropped;
+            if (tracing) {
+              trace.record(upd.participant, obs::Stage::kDrop, 0.0, 0.0,
+                           static_cast<double>(tau), "stale_policy",
+                           upd.round);
+            }
             continue;
           }
           const RoundSnapshot* snap = pool_.find(upd.round);
           if (snap == nullptr) {  // evicted: nothing to compensate against
             ++rec.dropped;
             if (pf.has_value()) ++fault_stats_.dropped;
+            if (tracing) {
+              trace.record(upd.participant, obs::Stage::kDrop, 0.0, 0.0,
+                           static_cast<double>(tau), "snapshot_evicted",
+                           upd.round);
+            }
             continue;
           }
           if (opts.stale_policy == StalePolicy::kUseStale) {
@@ -460,6 +532,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         rec.max_tau = std::max(rec.max_tau, tau);
         applied_ids.push_back(std::move(ids));
         applied_grads.push_back(std::move(grads));
+        applied_from.emplace_back(upd.participant, upd.round);
         alpha_terms.emplace_back(upd.reward, std::move(dlogp));
         reward_sum += upd.reward;
         ++m;
@@ -527,6 +600,10 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         // 1/m — bit-identical to the legacy in-loop scatter.
         for (std::size_t u = 0; u < applied_grads.size(); ++u) {
           supernet_->scatter_add_grads(applied_ids[u], applied_grads[u]);
+          if (tracing) {
+            trace.record(applied_from[u].first, obs::Stage::kAggregate, 0.0,
+                         0.0, 0.0, "applied", applied_from[u].second);
+          }
         }
         if (opts.update_theta) {
           const float inv_m = 1.0F / static_cast<float>(m);
@@ -557,6 +634,23 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         rec.agg_clipped_mass = out.clipped_mass;
         rec.agg_trimmed = out.trimmed_values;
         rec.agg_rejected = out.rejected_updates;
+        if (tracing) {
+          // The krum family reports its survivor set; everything else
+          // folds every update into the estimate.
+          std::vector<char> kept(applied_from.size(),
+                                 out.selected.empty() ? 1 : 0);
+          for (const int s : out.selected) {
+            if (s >= 0 && static_cast<std::size_t>(s) < kept.size()) {
+              kept[static_cast<std::size_t>(s)] = 1;
+            }
+          }
+          for (std::size_t u = 0; u < applied_from.size(); ++u) {
+            trace.record(applied_from[u].first, obs::Stage::kAggregate, 0.0,
+                         0.0, 0.0,
+                         kept[u] != 0 ? "applied" : "rejected:estimator",
+                         applied_from[u].second);
+          }
+        }
         if (opts.update_theta) {
           supernet_->add_flat_grads(out.grad);
           theta_opt_.step(supernet_->params());
@@ -577,6 +671,33 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   rec.baseline = policy_.baseline();
 
   if (soft_sync) pool_.evict(t);
+
+  // --- search-health monitor + flight-recorder triggers ---
+  if (health_) {
+    obs::HealthSignal sig;
+    sig.participants = k;
+    if (obs::alloc_tracking_enabled()) {
+      sig.live_alloc_bytes = obs::alloc_stats().live_bytes;
+    }
+    rec.health = static_cast<int>(health_->observe(rec, sig));
+    for (const obs::DetectorStatus& d : health_->detectors()) {
+      if (d.state >= obs::HealthState::kWarn) {
+        if (!rec.health_trips.empty()) rec.health_trips += ",";
+        rec.health_trips += d.name;
+      }
+    }
+    if (health_->crit_transition()) {
+      trace.dump_flight("health_crit:" + health_->last_crit_detectors()[0]);
+    }
+  }
+  if (rec.partial_quorum) trace.dump_flight("quorum_failure");
+  if (tracing) {
+    // Advance the sim clock past this round so the next round's events
+    // render after it (the committed deadline bounds everything recorded
+    // at a latency offset; stragglers surface as kArrive next rounds).
+    trace.end_round(std::max(rec.commit_latency_s, rec.max_latency_s));
+  }
+
   if (telemetry) record_round_telemetry(rec, opts, stats_before);
   return rec;
 }
@@ -712,6 +833,7 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
       {"agg_rejected", static_cast<double>(rec.agg_rejected)},
       {"winsorized", static_cast<double>(rec.winsorized)},
       {"screen_bound", rec.screen_bound},
+      {"health", static_cast<double>(rec.health)},
   };
   telemetry.emit(std::move(event));
 

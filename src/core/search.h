@@ -33,6 +33,10 @@
 
 namespace fms {
 
+namespace obs {
+class HealthMonitor;  // src/obs/health.h
+}
+
 struct SearchOptions {
   StalePolicy stale_policy = StalePolicy::kHardSync;
   StalenessDistribution staleness = StalenessDistribution::none();
@@ -129,6 +133,11 @@ struct RoundRecord {
   int agg_rejected = 0;           // updates excluded by krum / multi_krum
   int winsorized = 0;             // rewards clamped into the Tukey band
   double screen_bound = 0.0;      // effective gradient-norm cutoff this round
+  // Search-health observability (src/obs/health). Both stay at their
+  // defaults when the monitor is off — the record is otherwise untouched,
+  // preserving the bit-identity contract.
+  int health = 0;                 // worst detector: 0 OK / 1 WARN / 2 CRIT
+  std::string health_trips;       // detectors at WARN+, comma-joined
 };
 
 // Cumulative robustness ledger across all rounds (CLI summary): how much
@@ -185,6 +194,11 @@ class FederatedSearch {
   // Cumulative robust-aggregation ledger across all rounds run so far.
   const RobustStats& robust_stats() const { return robust_stats_; }
 
+  // Online search-health monitor (nullptr unless cfg.telemetry.health or
+  // a health_report_path was configured). The destructor writes the
+  // health.json report when a path was configured.
+  const obs::HealthMonitor* health() const { return health_.get(); }
+
   // Optional per-round observer (progress logging in examples/benches).
   std::function<void(const RoundRecord&)> on_round;
 
@@ -207,6 +221,7 @@ class FederatedSearch {
   std::vector<std::unique_ptr<SearchParticipant>> participants_;
   std::vector<BandwidthTrace> traces_;
   bool owns_telemetry_ = false;  // true when the ctor configured the sinks
+  std::unique_ptr<obs::HealthMonitor> health_;
   MemoryPool pool_;
   std::map<int, std::vector<UpdateMsg>> arrivals_;
   WindowAverage moving_;

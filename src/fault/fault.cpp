@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/obs/trace_ctx.h"
 
 namespace fms {
 namespace {
@@ -385,7 +386,11 @@ void FaultInjector::poison(UpdateMsg& upd, int participant, int round) const {
   }
 }
 
-const char* screen_update(const UpdateMsg& upd, float max_grad_norm) {
+namespace {
+
+// Screening body; the public wrapper adds the trace hook so every early
+// return records its verdict exactly once.
+const char* screen_update_impl(const UpdateMsg& upd, float max_grad_norm) {
   if (!std::isfinite(upd.reward) || upd.reward < 0.0F || upd.reward > 1.0F) {
     return "reward_out_of_range";
   }
@@ -400,6 +405,20 @@ const char* screen_update(const UpdateMsg& upd, float max_grad_norm) {
     return "grad_norm_outlier";
   }
   return nullptr;
+}
+
+}  // namespace
+
+const char* screen_update(const UpdateMsg& upd, float max_grad_norm) {
+  const char* violation = screen_update_impl(upd, max_grad_norm);
+  if (violation != nullptr && obs::tracing_enabled()) {
+    // Causal screen event, keyed to the update's dispatch round so the
+    // rejection joins the cohort's trace even when the update was stale.
+    obs::TraceContext::instance().record(
+        upd.participant, obs::Stage::kScreen, 0.0, 0.0, 0.0,
+        std::string("rejected:") + violation, upd.round);
+  }
+  return violation;
 }
 
 }  // namespace fms

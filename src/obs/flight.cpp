@@ -1,0 +1,169 @@
+#include "src/obs/flight.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+
+#include "src/common/check.h"
+#include "src/obs/sinks.h"
+#include "src/obs/telemetry.h"
+
+namespace fms::obs {
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+std::string event_json(const LifecycleEvent& ev) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"type\":\"flight\",\"stage\":\"";
+  line += stage_name(ev.stage);
+  line += "\",\"round\":";
+  append_number(line, ev.round);
+  line += ",\"origin_round\":";
+  append_number(line, ev.origin_round);
+  line += ",\"participant\":";
+  append_number(line, ev.participant);
+  line += ",\"ts_s\":";
+  append_number(line, ev.ts_s);
+  line += ",\"dur_s\":";
+  append_number(line, ev.dur_s);
+  line += ",\"value\":";
+  append_number(line, ev.value);
+  if (!ev.detail.empty()) {
+    line += ",\"detail\":\"";
+    line += json_escape(ev.detail);
+    line += "\"";
+  }
+  char idbuf[24];
+  std::snprintf(idbuf, sizeof(idbuf), "0x%016llx",
+                static_cast<unsigned long long>(ev.trace_id));
+  line += ",\"trace_id\":\"";
+  line += idbuf;
+  std::snprintf(idbuf, sizeof(idbuf), "0x%016llx",
+                static_cast<unsigned long long>(ev.span_id));
+  line += "\",\"span_id\":\"";
+  line += idbuf;
+  line += "\"}\n";
+  return line;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int capacity_per_participant)
+    : capacity_(capacity_per_participant) {
+  FMS_CHECK_MSG(capacity_ > 0, "flight recorder capacity must be positive");
+}
+
+void FlightRecorder::record(const LifecycleEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Ring& ring = rings_[ev.participant];
+  if (ring.slots.empty()) {
+    ring.slots.resize(static_cast<std::size_t>(capacity_));
+  }
+  ring.slots[ring.next] = ev;
+  ring.next = (ring.next + 1) % ring.slots.size();
+  if (ring.count < ring.slots.size()) ++ring.count;
+}
+
+void FlightRecorder::dump(const std::string& path,
+                          const std::string& reason) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return;  // postmortem best effort: never throw here
+  dump_stream(out, reason);
+  std::fclose(out);
+}
+
+void FlightRecorder::dump_stream(std::FILE* out,
+                                 const std::string& reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [p, ring] : rings_) {
+    (void)p;
+    total += ring.count;
+  }
+  std::string header;
+  header += "{\"type\":\"flight_header\",\"reason\":\"";
+  header += json_escape(reason);
+  header += "\",\"capacity\":";
+  append_number(header, capacity_);
+  header += ",\"events\":";
+  append_number(header, static_cast<double>(total));
+  header += "}\n";
+  std::fputs(header.c_str(), out);
+  for (const auto& [p, ring] : rings_) {
+    (void)p;
+    const std::size_t n = ring.slots.size();
+    for (std::size_t i = 0; i < ring.count; ++i) {
+      // Oldest first: when full, the insertion cursor is the oldest slot.
+      const std::size_t idx =
+          ring.count < n ? i : (ring.next + i) % n;
+      std::fputs(event_json(ring.slots[idx]).c_str(), out);
+    }
+  }
+  std::fflush(out);
+  ++dumps_;
+}
+
+std::size_t FlightRecorder::num_dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+std::vector<LifecycleEvent> FlightRecorder::events_for(int participant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LifecycleEvent> out;
+  const auto it = rings_.find(participant);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  const std::size_t n = ring.slots.size();
+  out.reserve(ring.count);
+  for (std::size_t i = 0; i < ring.count; ++i) {
+    const std::size_t idx = ring.count < n ? i : (ring.next + i) % n;
+    out.push_back(ring.slots[idx]);
+  }
+  return out;
+}
+
+namespace {
+
+std::terminate_handler g_previous_terminate = nullptr;
+
+// The terminate path must not allocate exotically or throw: dump what we
+// can, flush what we can, then chain to the previous handler (abort).
+[[noreturn]] void fms_terminate_handler() {
+  std::fputs("fms: terminating — dumping flight recorder and flushing "
+             "telemetry sinks\n",
+             stderr);
+  TraceContext::instance().dump_flight("crash");
+  Telemetry::instance().flush();
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+void fms_atexit_flush() {
+  // Scope-exit flush: sinks buffered in ofstreams would otherwise lose
+  // their tail on exit paths that bypass Telemetry::finish().
+  Telemetry::instance().flush();
+}
+
+}  // namespace
+
+void install_crash_handlers() {
+  static std::atomic<bool> installed{false};
+  bool expected = false;
+  if (!installed.compare_exchange_strong(expected, true)) return;
+  g_previous_terminate = std::set_terminate(fms_terminate_handler);
+  std::atexit(fms_atexit_flush);
+}
+
+}  // namespace fms::obs

@@ -1,0 +1,74 @@
+// Crash flight recorder: a bounded per-participant ring buffer of recent
+// lifecycle events, dumped for postmortem debugging when a run dies.
+//
+// A 10^5-participant campaign cannot afford full tracing, but when round
+// 3412 aborts you still want the last N lifecycle events of every
+// participant that touched it. The recorder keeps exactly that: each
+// participant owns a fixed-capacity ring (plus one for server-wide
+// events), so memory is O(participants * N * sizeof(event)) regardless
+// of run length.
+//
+// Dumps are triggered three ways (see src/core/search.cpp and
+// install_crash_handlers):
+//   * crash — an uncaught exception or std::terminate;
+//   * quorum failure — a round committed below quorum;
+//   * any detector's CRIT transition in the health monitor.
+// Each dump rewrites the configured file (latest state wins — it is a
+// postmortem artifact, not a log), one JSON object per line with a
+// header line carrying the reason.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace_ctx.h"
+
+namespace fms::obs {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int capacity_per_participant);
+
+  // Appends one event to its participant's ring (oldest evicted first).
+  void record(const LifecycleEvent& ev);
+
+  // Rewrites `path` with every ring's contents, oldest first, participants
+  // in ascending order. The first line is a header:
+  //   {"type":"flight_header","reason":"...","events":N}
+  void dump(const std::string& path, const std::string& reason) const;
+  // Same, onto an already-open stream (the terminate handler writes to a
+  // path it re-opens; tests capture via tmpfile).
+  void dump_stream(std::FILE* out, const std::string& reason) const;
+
+  int capacity() const { return capacity_; }
+  std::size_t num_dumps() const;
+  // Ring contents for one participant, oldest first (tests).
+  std::vector<LifecycleEvent> events_for(int participant) const;
+
+ private:
+  struct Ring {
+    std::vector<LifecycleEvent> slots;
+    std::size_t next = 0;   // insertion cursor
+    std::size_t count = 0;  // filled slots (<= capacity)
+  };
+
+  mutable std::mutex mu_;
+  int capacity_;
+  std::map<int, Ring> rings_;  // participant (-1 = server) -> ring
+  mutable std::size_t dumps_ = 0;
+};
+
+// Installs process-wide abnormal-exit hooks (idempotent):
+//   * a std::terminate handler that dumps the active flight recorder
+//     (reason "crash") and flushes every telemetry sink before chaining
+//     to the previous handler;
+//   * an atexit hook that flushes telemetry sinks, so JSONL/CSV tails
+//     buffered in ofstreams survive exit paths that skip Telemetry
+//     destructors.
+// Called by Telemetry::configure once telemetry or tracing is enabled.
+void install_crash_handlers();
+
+}  // namespace fms::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace fms::obs {
 
@@ -131,5 +132,25 @@ void ConsoleRoundSink::write(const TraceEvent& event) {
 }
 
 void ConsoleRoundSink::flush() { std::fflush(out_); }
+
+void ConsoleRoundSink::write_summary(const MetricsRegistry& registry) {
+  // Both the explicit finish() call and the owning search's destructor
+  // reach here; the table is for humans, so print it once.
+  if (summary_written_) return;
+  summary_written_ = true;
+  const std::vector<MetricSample> samples = registry.snapshot();
+  bool header = false;
+  for (const MetricSample& s : samples) {
+    if (s.type != "histogram" || s.count == 0) continue;
+    if (!header) {
+      std::fprintf(out_, "%-32s %10s %12s %12s %12s %12s\n", "histogram",
+                   "count", "mean", "p50", "p95", "p99");
+      header = true;
+    }
+    std::fprintf(out_, "%-32s %10llu %12.6g %12.6g %12.6g %12.6g\n",
+                 s.name.c_str(), static_cast<unsigned long long>(s.count),
+                 s.value, s.p50, s.p95, s.p99);
+  }
+}
 
 }  // namespace fms::obs

@@ -17,6 +17,8 @@
 
 namespace fms::obs {
 
+class MetricsRegistry;  // src/obs/metrics.h
+
 // One observable occurrence: a finished span, a completed round, or a
 // run-level annotation. Numeric payload only — everything the paper's
 // curves need is a number.
@@ -33,6 +35,10 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void write(const TraceEvent& event) = 0;
   virtual void flush() {}
+  // End-of-run hook, handed the final metrics snapshot by
+  // Telemetry::finish(). File sinks ignore it (the CSV snapshot already
+  // carries the registry); the console sink prints its quantile table.
+  virtual void write_summary(const MetricsRegistry& registry) { (void)registry; }
 };
 
 // One JSON object per event, one event per line:
@@ -64,12 +70,16 @@ class ConsoleRoundSink : public TraceSink {
 
   void write(const TraceEvent& event) override;
   void flush() override;
+  // End-of-run latency table: one row per histogram with count, mean and
+  // the interpolated p50/p95/p99 the quantile buckets already track.
+  void write_summary(const MetricsRegistry& registry) override;
 
  private:
   int every_;
   std::FILE* out_;
   double ema_round_s_ = 0.0;  // EMA of "round" span durations
   bool have_ema_ = false;
+  bool summary_written_ = false;  // finish() may run twice (caller + dtor)
 };
 
 // Escapes a string for embedding in a JSON literal (quotes, backslashes,

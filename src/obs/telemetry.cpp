@@ -1,7 +1,9 @@
 #include "src/obs/telemetry.h"
 
 #include "src/obs/alloc.h"
+#include "src/obs/flight.h"
 #include "src/obs/profile.h"
+#include "src/obs/trace_ctx.h"
 
 namespace fms::obs {
 
@@ -42,10 +44,24 @@ void Telemetry::set_label(std::string label) {
   label_ = std::move(label);
 }
 
-void Telemetry::configure(const TelemetryConfig& cfg) {
+void Telemetry::configure(const TelemetryConfig& cfg, std::uint64_t seed) {
   set_telemetry_enabled(cfg.enabled);
   set_profiling_enabled(cfg.profile);
   set_alloc_tracking_enabled(cfg.profile);
+  // Causal tracing rides the same config: the trace context is live when
+  // either a Chrome export or a flight recorder was asked for. The flight
+  // dump needs a destination even when only the default was configured —
+  // a postmortem artifact with no path would silently vanish.
+  const bool tracing =
+      cfg.enabled && (!cfg.trace_chrome_path.empty() || cfg.flight_recorder > 0);
+  std::string flight_dump = cfg.flight_dump_path;
+  if (cfg.flight_recorder > 0 && flight_dump.empty()) {
+    flight_dump = "fms_flight.jsonl";
+  }
+  TraceContext::instance().configure(tracing, seed, cfg.trace_chrome_path,
+                                     cfg.enabled ? cfg.flight_recorder : 0,
+                                     flight_dump);
+  if (cfg.enabled) install_crash_handlers();
   std::lock_guard<std::mutex> lock(mu_);
   sinks_.clear();
   metrics_csv_path_ = cfg.metrics_csv_path;
@@ -62,10 +78,14 @@ void Telemetry::finish() {
   std::string csv_path;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& sink : sinks_) sink->flush();
+    for (const auto& sink : sinks_) {
+      sink->write_summary(registry_);
+      sink->flush();
+    }
     csv_path = metrics_csv_path_;
   }
   if (!csv_path.empty()) registry_.write_csv(csv_path);
+  TraceContext::instance().export_chrome();
 }
 
 }  // namespace fms::obs

@@ -47,10 +47,13 @@ class Telemetry {
 
   // Applies a TelemetryConfig: toggles the global enable flag and replaces
   // the sink set. The metrics CSV path is remembered and written by
-  // finish().
-  void configure(const TelemetryConfig& cfg);
+  // finish(). `seed` keys the deterministic trace ids of the causal trace
+  // context (src/obs/trace_ctx) when tracing is configured.
+  void configure(const TelemetryConfig& cfg, std::uint64_t seed = 0);
 
-  // Flushes sinks and writes the metrics CSV snapshot when configured.
+  // Flushes sinks, writes the metrics CSV snapshot when configured,
+  // exports the Chrome trace when configured, and hands each sink a final
+  // registry snapshot (ConsoleRoundSink prints its quantile table here).
   void finish();
 
  private:

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/trace_ctx.h"
 
 namespace fms {
 
@@ -33,6 +34,16 @@ int StalenessDistribution::sample(Rng& rng) const {
     u -= p_tau_[t];
   }
   return kExceedsThreshold;
+}
+
+int StalenessDistribution::sample_traced(Rng& rng, int participant) const {
+  const int tau = sample(rng);
+  if (obs::tracing_enabled()) {
+    obs::TraceContext::instance().record(
+        participant, obs::Stage::kStale, 0.0, 0.0, static_cast<double>(tau),
+        tau == kExceedsThreshold ? "overflow" : "");
+  }
+  return tau;
 }
 
 StalenessDistribution StalenessDistribution::none() {

@@ -23,6 +23,12 @@ class StalenessDistribution {
   // Returns a delay in rounds, or kExceedsThreshold.
   int sample(Rng& rng) const;
 
+  // Same draw (identical RNG consumption), but records the outcome as a
+  // "stale" lifecycle event on the causal trace (src/obs/trace_ctx) when
+  // tracing is enabled — value = tau, detail "overflow" when the delay
+  // exceeds the threshold.
+  int sample_traced(Rng& rng, int participant) const;
+
   int max_delay() const { return static_cast<int>(p_tau_.size()) - 1; }
   double drop_probability() const { return drop_p_; }
   double fresh_fraction() const { return p_tau_.empty() ? 0.0 : p_tau_[0]; }

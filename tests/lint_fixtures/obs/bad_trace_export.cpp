@@ -1,0 +1,19 @@
+// Known-bad fixture for the wall-clock rule in a trace exporter: the
+// causal trace contract (src/obs/trace_ctx) is sim-time ticks only, so a
+// Chrome-trace "ts" stamped from the host clock is exactly the bug the
+// rule exists to catch — it would make every exported trace
+// run-dependent. Line numbers are asserted by tests/test_lint.cpp —
+// edit with care.
+#include <chrono>
+#include <ctime>
+#include <string>
+
+std::string bad_export_event(int round) {
+  const auto now = std::chrono::system_clock::now();
+  const double ts =
+      std::chrono::duration<double>(now.time_since_epoch()).count() * 1e6;
+  std::string out = "{\"ph\":\"X\",\"ts\":" + std::to_string(ts);
+  out += ",\"args\":{\"round\":" + std::to_string(round);
+  out += ",\"stamped_at\":" + std::to_string(time(nullptr)) + "}}";
+  return out;
+}

@@ -1,0 +1,537 @@
+// Search-health monitor (src/obs/health): synthetic per-detector streams
+// around each threshold (grace arming, WARN/CRIT boundaries, transition
+// semantics), the report formats, and the end-to-end validation contract
+// — every fault class the injector can schedule trips its matching
+// detector, while a clean seeded run stays OK for every round. Selected
+// with `ctest -L health`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace_ctx.h"
+
+namespace fms {
+namespace {
+
+using obs::HealthConfig;
+using obs::HealthMonitor;
+using obs::HealthSignal;
+using obs::HealthState;
+
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_telemetry_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::TraceContext::instance().reset();
+    obs::Telemetry::instance().clear_sinks();
+    obs::Telemetry::instance().registry().reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// A round no detector should mind: entropy high, reward stable, fresh
+// updates, full quorum, nothing rejected.
+RoundRecord healthy_rec() {
+  RoundRecord rec;
+  rec.mean_reward = 0.5;
+  rec.moving_avg = 0.5;
+  rec.baseline = 0.5;
+  rec.alpha_entropy = 1.2;
+  rec.arrived = 4;
+  rec.mean_tau = 0.0;
+  return rec;
+}
+
+HealthSignal sig4() {
+  HealthSignal sig;
+  sig.participants = 4;
+  return sig;
+}
+
+// Small windows keep the synthetic streams short.
+HealthConfig fast_cfg() {
+  HealthConfig cfg;
+  cfg.window = 4;
+  cfg.grace_rounds = 2;
+  return cfg;
+}
+
+void feed(HealthMonitor& mon, const RoundRecord& rec, int rounds) {
+  for (int i = 0; i < rounds; ++i) mon.observe(rec, sig4());
+}
+
+// --- arming + clean behavior ---
+
+TEST_F(HealthTest, CleanSyntheticStreamStaysOk) {
+  HealthMonitor mon(fast_cfg());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(mon.observe(healthy_rec(), sig4()), HealthState::kOk);
+  }
+  EXPECT_EQ(mon.worst(), HealthState::kOk);
+  EXPECT_EQ(mon.rounds_observed(), 20);
+  for (const obs::DetectorStatus& d : mon.detectors()) {
+    EXPECT_EQ(d.state, HealthState::kOk) << d.name;
+    EXPECT_EQ(d.warn_rounds, 0) << d.name;
+    EXPECT_EQ(d.first_warn_round, -1) << d.name;
+  }
+}
+
+TEST_F(HealthTest, DetectorOrderIsFixed) {
+  HealthMonitor mon;
+  std::vector<std::string> names;
+  for (const obs::DetectorStatus& d : mon.detectors()) names.push_back(d.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "alpha_entropy", "reward", "staleness", "quorum",
+                       "screening", "alloc_growth"}));
+  EXPECT_NE(mon.find("quorum"), nullptr);
+  EXPECT_EQ(mon.find("no_such_detector"), nullptr);
+}
+
+TEST_F(HealthTest, GracePeriodSuppressesEarlyTrips) {
+  HealthConfig cfg = fast_cfg();
+  cfg.grace_rounds = 5;
+  cfg.window = 2;
+  HealthMonitor mon(cfg);
+  RoundRecord collapsed = healthy_rec();
+  collapsed.alpha_entropy = 0.0;  // far past entropy_crit from round 0
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(mon.observe(collapsed, sig4()), HealthState::kOk)
+        << "tripped during grace at round " << i;
+  }
+  EXPECT_EQ(mon.observe(collapsed, sig4()), HealthState::kCrit);
+  EXPECT_EQ(mon.find("alpha_entropy")->first_crit_round, 5);
+}
+
+// --- per-detector boundaries ---
+
+TEST_F(HealthTest, EntropyCollapseWarnsThenTrips) {
+  HealthMonitor warn_mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.alpha_entropy = 0.2;  // between crit 0.10 and warn 0.25
+  feed(warn_mon, rec, 10);
+  EXPECT_EQ(warn_mon.find("alpha_entropy")->state, HealthState::kWarn);
+  EXPECT_EQ(warn_mon.worst(), HealthState::kWarn);
+
+  HealthMonitor crit_mon(fast_cfg());
+  rec.alpha_entropy = 0.05;
+  feed(crit_mon, rec, 10);
+  EXPECT_EQ(crit_mon.find("alpha_entropy")->state, HealthState::kCrit);
+
+  HealthMonitor ok_mon(fast_cfg());
+  rec.alpha_entropy = 0.3;  // above warn: a sharpening policy is healthy
+  feed(ok_mon, rec, 10);
+  EXPECT_EQ(ok_mon.find("alpha_entropy")->state, HealthState::kOk);
+}
+
+TEST_F(HealthTest, NonFiniteRewardIsImmediateCritDespiteGrace) {
+  HealthMonitor mon;  // default grace of 12 must NOT delay this
+  RoundRecord rec = healthy_rec();
+  rec.mean_reward = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(mon.observe(rec, sig4()), HealthState::kCrit);
+  EXPECT_TRUE(mon.crit_transition());
+  ASSERT_EQ(mon.last_crit_detectors().size(), 1U);
+  EXPECT_EQ(mon.last_crit_detectors()[0], "reward");
+  EXPECT_EQ(mon.find("reward")->first_crit_round, 0);
+
+  HealthMonitor inf_mon;
+  rec = healthy_rec();
+  rec.baseline = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(inf_mon.observe(rec, sig4()), HealthState::kCrit);
+}
+
+TEST_F(HealthTest, RewardDropBelowBestTrips) {
+  HealthConfig cfg = fast_cfg();
+  cfg.window = 2;
+  HealthMonitor mon(cfg);
+  RoundRecord good = healthy_rec();
+  feed(mon, good, 6);  // best window-mean settles at 0.5
+  EXPECT_EQ(mon.find("reward")->state, HealthState::kOk);
+
+  RoundRecord sagging = healthy_rec();
+  sagging.moving_avg = 0.41;  // 18% below best: warn band (15%..30%)
+  feed(mon, sagging, 4);
+  EXPECT_EQ(mon.find("reward")->state, HealthState::kWarn);
+
+  RoundRecord collapsed = healthy_rec();
+  collapsed.moving_avg = 0.3;  // 40% below best
+  feed(mon, collapsed, 4);
+  EXPECT_EQ(mon.find("reward")->state, HealthState::kCrit);
+}
+
+TEST_F(HealthTest, WinsorizedFloodTripsRewardDetector) {
+  HealthMonitor mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.winsorized = 2;  // half of each round's arrivals clamped
+  feed(mon, rec, 10);
+  EXPECT_EQ(mon.find("reward")->state, HealthState::kCrit);
+
+  HealthMonitor mild(fast_cfg());
+  rec.winsorized = 1;  // 25%: between warn 0.15 and crit 0.35
+  feed(mild, rec, 10);
+  EXPECT_EQ(mild.find("reward")->state, HealthState::kWarn);
+}
+
+TEST_F(HealthTest, StalenessInflationTrips) {
+  HealthMonitor warn_mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.mean_tau = 1.2;
+  feed(warn_mon, rec, 10);
+  EXPECT_EQ(warn_mon.find("staleness")->state, HealthState::kWarn);
+
+  HealthMonitor crit_mon(fast_cfg());
+  rec.mean_tau = 2.5;
+  feed(crit_mon, rec, 10);
+  EXPECT_EQ(crit_mon.find("staleness")->state, HealthState::kCrit);
+}
+
+TEST_F(HealthTest, QuorumErosionTrips) {
+  // Offline fraction between warn 0.20 and crit 0.50 -> WARN.
+  HealthMonitor warn_mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.offline = 1;  // of 4 participants
+  feed(warn_mon, rec, 10);
+  EXPECT_EQ(warn_mon.find("quorum")->state, HealthState::kWarn);
+
+  // A partial-quorum commit counts as full erosion for its round.
+  HealthMonitor crit_mon(fast_cfg());
+  rec = healthy_rec();
+  rec.partial_quorum = true;
+  feed(crit_mon, rec, 10);
+  EXPECT_EQ(crit_mon.find("quorum")->state, HealthState::kCrit);
+}
+
+TEST_F(HealthTest, ScreenRejectionSpikeCountsEstimatorExclusions) {
+  // 1 screening rejection of 4 processed = 0.25 -> the CRIT boundary.
+  HealthMonitor mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.arrived = 3;
+  rec.rejected = 1;
+  feed(mon, rec, 10);
+  EXPECT_EQ(mon.find("screening")->state, HealthState::kCrit);
+
+  // krum-family exclusions feed the same fraction.
+  HealthMonitor agg_mon(fast_cfg());
+  rec = healthy_rec();
+  rec.arrived = 7;
+  rec.agg_rejected = 1;  // 1 of 8 processed = 0.125: warn band
+  feed(agg_mon, rec, 10);
+  EXPECT_EQ(agg_mon.find("screening")->state, HealthState::kWarn);
+}
+
+TEST_F(HealthTest, AllocDetectorRequiresMonotoneGrowthOverFullWindow) {
+  HealthConfig cfg = fast_cfg();
+  HealthMonitor mon(cfg);
+  RoundRecord rec = healthy_rec();
+  HealthSignal sig = sig4();
+  // Monotone leak: +100000 bytes every round, well past crit 65536.
+  for (int i = 0; i < 10; ++i) {
+    sig.live_alloc_bytes = 1000000 + 100000 * static_cast<std::int64_t>(i);
+    mon.observe(rec, sig);
+  }
+  EXPECT_EQ(mon.find("alloc_growth")->state, HealthState::kCrit);
+
+  // The same total growth with one flat round inside the window is cache
+  // warm-up, not a leak: the detector must stay quiet.
+  HealthMonitor bursty(cfg);
+  for (int i = 0; i < 10; ++i) {
+    sig.live_alloc_bytes =
+        1000000 + 100000 * static_cast<std::int64_t>(i - (i % cfg.window == 0));
+    bursty.observe(rec, sig);
+  }
+  EXPECT_EQ(bursty.find("alloc_growth")->state, HealthState::kOk);
+
+  // Tracking off (sentinel -1): the detector never arms.
+  HealthMonitor off(cfg);
+  feed(off, rec, 10);
+  EXPECT_EQ(off.find("alloc_growth")->state, HealthState::kOk);
+
+  // Mild monotone drift lands in the warn band.
+  HealthMonitor warn_mon(cfg);
+  for (int i = 0; i < 10; ++i) {
+    sig.live_alloc_bytes = 1000000 + 8192 * static_cast<std::int64_t>(i);
+    warn_mon.observe(rec, sig);
+  }
+  EXPECT_EQ(warn_mon.find("alloc_growth")->state, HealthState::kWarn);
+}
+
+// --- transition semantics + reports ---
+
+TEST_F(HealthTest, CritTransitionFiresOnceAndWorstIsSticky) {
+  HealthConfig cfg = fast_cfg();
+  cfg.window = 2;
+  HealthMonitor mon(cfg);
+  feed(mon, healthy_rec(), 4);
+
+  RoundRecord collapsed = healthy_rec();
+  collapsed.alpha_entropy = 0.0;
+  // The window mean needs both slots collapsed before crossing crit.
+  mon.observe(collapsed, sig4());
+  EXPECT_EQ(mon.observe(collapsed, sig4()), HealthState::kCrit);
+  EXPECT_TRUE(mon.crit_transition());  // the edge, exactly once
+  EXPECT_EQ(mon.last_crit_detectors(),
+            (std::vector<std::string>{"alpha_entropy"}));
+  EXPECT_EQ(mon.observe(collapsed, sig4()), HealthState::kCrit);
+  EXPECT_FALSE(mon.crit_transition());  // still CRIT, but no new edge
+
+  // Recovery clears the live state but the run verdict is sticky.
+  feed(mon, healthy_rec(), 6);
+  EXPECT_EQ(mon.find("alpha_entropy")->state, HealthState::kOk);
+  EXPECT_EQ(mon.worst(), HealthState::kCrit);
+  EXPECT_EQ(mon.find("alpha_entropy")->crit_rounds, 2);
+  EXPECT_GE(mon.find("alpha_entropy")->first_crit_round, 0);
+}
+
+TEST_F(HealthTest, ReportsCarryEveryDetector) {
+  HealthMonitor mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.partial_quorum = true;
+  feed(mon, rec, 8);
+
+  const std::string json = mon.to_json();
+  EXPECT_NE(json.find("\"worst\": \"CRIT\""), std::string::npos);
+  for (const obs::DetectorStatus& d : mon.detectors()) {
+    EXPECT_NE(json.find("\"" + d.name + "\""), std::string::npos) << d.name;
+  }
+  EXPECT_NE(json.find("\"grace_rounds\": 2"), std::string::npos);
+
+  const std::string table = mon.summary_table();
+  EXPECT_NE(table.find("health: worst CRIT over 8 rounds"),
+            std::string::npos);
+  EXPECT_NE(table.find("quorum"), std::string::npos);
+  EXPECT_NE(table.find("trips"), std::string::npos);
+
+  const std::string path = "fms_test_health_report.json";
+  mon.write_report(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST_F(HealthTest, EmitsHealthMetricsWhenTelemetryEnabled) {
+  obs::set_telemetry_enabled(true);
+  HealthMonitor mon(fast_cfg());
+  RoundRecord rec = healthy_rec();
+  rec.partial_quorum = true;
+  feed(mon, rec, 8);
+  obs::MetricsRegistry& reg = obs::Telemetry::instance().registry();
+  EXPECT_EQ(reg.gauge("fms.health.state").value(), 2.0);  // fms-lint: allow(float-eq) -- gauge stores the exact enum value
+  EXPECT_EQ(reg.gauge("fms.health.quorum.state").value(), 2.0);  // fms-lint: allow(float-eq) -- gauge stores the exact enum value
+  EXPECT_GT(reg.gauge("fms.health.quorum").value(), 0.9);
+  EXPECT_GT(reg.counter("fms.health.crit_rounds").value(), 0U);
+  obs::set_telemetry_enabled(false);
+}
+
+// --- end-to-end: real fault campaigns against the real search loop ---
+
+struct TinyWorld {
+  TrainTest data;
+  std::vector<std::vector<int>> partition;
+  SearchConfig cfg;
+};
+
+// Callers must keep the returned TinyWorld at a stable address before
+// constructing a FederatedSearch from it: participants keep pointers
+// into `data`.
+TinyWorld make_tiny_world(std::uint64_t seed, int participants = 4) {
+  Rng rng(seed);
+  SynthSpec spec;
+  spec.train_size = 160;
+  spec.test_size = 40;
+  spec.image_size = 8;
+  TrainTest data = make_synth_c10(spec, rng);
+  SearchConfig cfg;
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 4;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 8;
+  cfg.schedule.num_participants = participants;
+  cfg.seed = seed;
+  auto partition =
+      iid_partition(data.train.size(), cfg.schedule.num_participants, rng);
+  return TinyWorld{std::move(data), std::move(partition), cfg};
+}
+
+// Runs a campaign and feeds every RoundRecord through a monitor armed
+// quickly enough for a short test run.
+HealthMonitor run_campaign(TinyWorld& w, const SearchOptions& opts,
+                           int rounds) {
+  HealthConfig cfg;
+  cfg.window = 6;
+  cfg.grace_rounds = 4;
+  HealthMonitor mon(cfg);
+  FederatedSearch search(w.cfg, w.data.train, w.partition);
+  search.run_warmup(1);
+  HealthSignal sig;
+  sig.participants = w.cfg.schedule.num_participants;
+  for (const RoundRecord& rec : search.run_search(rounds, opts)) {
+    mon.observe(rec, sig);
+  }
+  return mon;
+}
+
+TEST_F(HealthTest, CrashCampaignTripsQuorumDetector) {
+  TinyWorld w = make_tiny_world(11);
+  SearchOptions opts;
+  opts.fault_plan = FaultPlan::parse("crash=0.5,crash_round=1,seed=3");
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("quorum")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, DropoutCampaignTripsQuorumDetector) {
+  TinyWorld w = make_tiny_world(12);
+  SearchOptions opts;
+  opts.fault_plan = FaultPlan::parse("dropout=0.5,dropout_rounds=2,seed=4");
+  opts.quorum = 0.5;  // rounds still commit; erosion shows as offline share
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("quorum")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, LinkFailureCampaignTripsQuorumDetector) {
+  TinyWorld w = make_tiny_world(13);
+  SearchOptions opts;
+  opts.fault_plan = FaultPlan::parse("link=0.9,seed=5");
+  opts.max_retransmits = 0;  // no recovery: dead links starve the quorum
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("quorum")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, DivergentAndCorruptCampaignTripsScreeningDetector) {
+  TinyWorld w = make_tiny_world(14);
+  SearchOptions opts;
+  opts.fault_plan =
+      FaultPlan::parse("divergent=0.5,divergent_p=1.0,corrupt=0.3,seed=6");
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("screening")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, SignFlipUnderMultiKrumTripsScreeningDetector) {
+  TinyWorld w = make_tiny_world(15, /*participants=*/8);
+  SearchOptions opts;
+  opts.fault_plan =
+      FaultPlan::parse("sign_flip=0.375,sign_flip_lambda=4,seed=7");
+  opts.aggregator = agg::AggregatorConfig::parse("multi_krum:3");
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("screening")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, RewardAttackTripsRewardDetector) {
+  // A lying *minority*: winsorization's Tukey fence is computed from the
+  // round's own arrivals, so a 50% attack would widen the IQR past its
+  // own lie. Two inflated clients out of six clamp every round.
+  TinyWorld w = make_tiny_world(16, /*participants=*/6);
+  SearchOptions opts;
+  opts.fault_plan =
+      FaultPlan::parse("reward_attack=0.34,reward_attack_delta=0.9,seed=10");
+  opts.winsorize_rewards_k = 1.5;  // the robust channel clamps the lies
+  HealthMonitor mon = run_campaign(w, opts, 12);
+  EXPECT_GE(mon.find("reward")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+TEST_F(HealthTest, SevereStalenessTripsStalenessDetector) {
+  TinyWorld w = make_tiny_world(17);
+  SearchOptions opts;
+  opts.stale_policy = StalePolicy::kCompensate;
+  // Nothing fresh: every applied update is at least two rounds late.
+  opts.staleness = StalenessDistribution({0.0, 0.0, 0.5, 0.5});
+  HealthMonitor mon = run_campaign(w, opts, 14);
+  EXPECT_GE(mon.find("staleness")->state, HealthState::kWarn)
+      << mon.summary_table();
+}
+
+// --- end-to-end: the integrated path through FederatedSearch ---
+
+TEST_F(HealthTest, IntegratedMonitorAnnotatesRecordsAndDumpsFlight) {
+  const std::string flight = "fms_test_health_flight.jsonl";
+  const std::string report = "fms_test_health_report_e2e.json";
+  std::remove(flight.c_str());
+  {
+    TinyWorld w = make_tiny_world(18);
+    w.cfg.telemetry.enabled = true;
+    w.cfg.telemetry.health = true;
+    w.cfg.telemetry.health_report_path = report;
+    w.cfg.telemetry.flight_recorder = 16;
+    w.cfg.telemetry.flight_dump_path = flight;
+    SearchOptions opts;
+    opts.fault_plan = FaultPlan::parse("crash=0.5,crash_round=1,seed=9");
+    FederatedSearch search(w.cfg, w.data.train, w.partition);
+    ASSERT_NE(search.health(), nullptr);
+    search.run_warmup(1);
+    const std::vector<RoundRecord> records = search.run_search(20, opts);
+
+    bool tripped = false;
+    for (const RoundRecord& rec : records) {
+      if (rec.health > 0) {
+        tripped = true;
+        EXPECT_FALSE(rec.health_trips.empty());
+        EXPECT_NE(rec.health_trips.find("quorum"), std::string::npos);
+      }
+    }
+    EXPECT_TRUE(tripped) << search.health()->summary_table();
+    EXPECT_GE(search.health()->worst(), HealthState::kWarn);
+  }
+  // Partial-quorum rounds (and any CRIT edge) dumped the flight recorder.
+  std::ifstream fin(flight);
+  ASSERT_TRUE(fin.good());
+  std::string header;
+  std::getline(fin, header);
+  EXPECT_NE(header.find("\"type\":\"flight_header\""), std::string::npos);
+  // The search destructor wrote the machine-readable report.
+  std::ifstream rin(report);
+  ASSERT_TRUE(rin.good());
+  std::ostringstream ss;
+  ss << rin.rdbuf();
+  EXPECT_NE(ss.str().find("\"detectors\""), std::string::npos);
+  std::remove(flight.c_str());
+  std::remove(report.c_str());
+
+  obs::Telemetry::instance().clear_sinks();
+  obs::set_telemetry_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::TraceContext::instance().reset();
+}
+
+TEST_F(HealthTest, CleanSeededRunReportsZeroWarnCrit) {
+  TinyWorld w = make_tiny_world(19);
+  w.cfg.telemetry.enabled = true;
+  w.cfg.telemetry.health = true;
+  SearchOptions opts;
+  FederatedSearch search(w.cfg, w.data.train, w.partition);
+  ASSERT_NE(search.health(), nullptr);
+  search.run_warmup(1);
+  const std::vector<RoundRecord> records = search.run_search(20, opts);
+  for (const RoundRecord& rec : records) {
+    EXPECT_EQ(rec.health, 0) << "round " << rec.round << " trips: "
+                             << rec.health_trips;
+    EXPECT_TRUE(rec.health_trips.empty());
+  }
+  EXPECT_EQ(search.health()->worst(), HealthState::kOk)
+      << search.health()->summary_table();
+
+  obs::Telemetry::instance().clear_sinks();
+  obs::set_telemetry_enabled(false);
+}
+
+}  // namespace
+}  // namespace fms

@@ -45,6 +45,14 @@ TEST(FmsLint, WallClockFiresAtExactLines) {
             (RL{{"wall-clock", 7}, {"wall-clock", 12}}));
 }
 
+TEST(FmsLint, WallClockFiresInTraceExportPath) {
+  // Pins wall-clock coverage of the obs trace-export path: the Chrome
+  // exporter's contract is sim-time ticks, so a host-clock "ts" or a
+  // metadata time() stamp in an exporter must keep firing.
+  EXPECT_EQ(rule_lines(lint_file(fixture("obs/bad_trace_export.cpp"))),
+            (RL{{"wall-clock", 12}, {"wall-clock", 17}}));
+}
+
 TEST(FmsLint, UnorderedContainerFiresInOrderingSensitivePath) {
   EXPECT_EQ(rule_lines(lint_file(fixture("core/bad_unordered.cpp"))),
             (RL{{"unordered-container", 5}, {"unordered-container", 7}}));
