@@ -1,0 +1,113 @@
+// Ablation (DESIGN.md, "Churn & graceful degradation"): churn regime vs
+// round-deadline policy.
+//
+// The paper's protocol waits on a fixed participant set; under churn a
+// fixed (or absent) round timeout leaves the server waiting on straggler
+// tails that retransmits and link faults stretch out, while the adaptive
+// windowed-quantile deadline caps each round near the fleet's recent p90
+// and folds the tail into the soft-sync/DC path. Rows are churn regimes
+// (steady background churn, a burst mass-leave, diurnal phases); columns
+// compare a fixed generous timeout against the adaptive deadline, both
+// with the full degradation ladder armed. "sim time" is the summed
+// simulated commit latency of the whole search — the wall-clock a real
+// deployment would burn — and lower is better as long as the final
+// accuracy holds.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fault/fault.h"
+#include "src/sim/churn.h"
+
+int main() {
+  using namespace fms;
+  const int participants = 10;
+  bench::Workload w = bench::make_workload_c10(participants, bench::Dist::kIid,
+                                               /*seed=*/23);
+  SearchConfig cfg = bench::bench_search_config();
+  cfg.seed = 23;
+
+  const int warmup = bench::scaled(10);
+  const int rounds = bench::scaled(60);
+
+  struct Regime {
+    const char* name;
+    std::string plan;
+  };
+  const std::vector<Regime> regimes = {
+      {"no churn", ""},
+      {"steady 20%", "leave=0.08,away_min=2,away_max=4,seed=4"},
+      {"burst 60%", "leave=0.04,away_min=2,away_max=4,burst=0.6,burst_round=" +
+                        std::to_string(warmup + rounds / 3) +
+                        ",burst_away=12,seed=4"},
+      {"diurnal", "leave=0.12,diurnal=1.0,diurnal_period=20,seed=4"},
+  };
+
+  struct Cell {
+    double sim_time_s = 0.0;  // summed commit latency across the search
+    double acc = 0.0;         // final moving-average training accuracy
+    int partial_rounds = 0;
+    int transitions = 0;
+  };
+  auto run_cell = [&](const Regime& regime, bool adaptive) {
+    FederatedSearch search(cfg, w.data.train, w.partition);
+    search.run_warmup(warmup);
+    SearchOptions opts;
+    opts.stale_policy = StalePolicy::kCompensate;
+    opts.quorum = 0.8;
+    // Flaky links on both directions give every round a retransmit tail —
+    // the straggler mass a deadline policy has to manage.
+    opts.fault_plan = FaultPlan::parse(
+        "link=0.25,uplink=0.2,backoff_jitter=0.5,seed=7");
+    if (!regime.plan.empty()) opts.churn_plan = ChurnPlan::parse(regime.plan);
+    opts.degrade.max_mode = 3;
+    if (adaptive) {
+      opts.adaptive_timeout.enabled = true;
+      opts.adaptive_timeout.window = 40;
+    } else {
+      opts.round_timeout_s = 60.0;  // generous: effectively tail-bound
+    }
+    Cell cell;
+    const auto records = search.run_search(rounds, opts);
+    for (const auto& rec : records) {
+      cell.sim_time_s += rec.commit_latency_s;
+      if (rec.partial_quorum) ++cell.partial_rounds;
+    }
+    cell.acc = records.back().moving_avg;
+    cell.transitions = search.degrade_transitions();
+    return cell;
+  };
+
+  Table tab("Ablation — churn regime vs round-deadline policy "
+            "(10 participants, flaky links; summed simulated commit time)");
+  tab.columns({"regime", "fixed sim s", "adaptive sim s", "fixed acc",
+               "adaptive acc"});
+  Table csv("long-format grid");
+  csv.columns({"regime", "deadline", "sim_time_s", "final_moving_avg",
+               "partial_rounds", "degrade_transitions"});
+  for (const Regime& regime : regimes) {
+    const Cell fixed = run_cell(regime, /*adaptive=*/false);
+    const Cell adap = run_cell(regime, /*adaptive=*/true);
+    tab.row({regime.name, Table::num(fixed.sim_time_s, 1),
+             Table::num(adap.sim_time_s, 1), Table::num(fixed.acc, 4),
+             Table::num(adap.acc, 4)});
+    csv.row({regime.name, "fixed", Table::num(fixed.sim_time_s, 3),
+             Table::num(fixed.acc, 6), Table::num(fixed.partial_rounds, 0),
+             Table::num(fixed.transitions, 0)});
+    csv.row({regime.name, "adaptive", Table::num(adap.sim_time_s, 3),
+             Table::num(adap.acc, 6), Table::num(adap.partial_rounds, 0),
+             Table::num(adap.transitions, 0)});
+  }
+  tab.print();
+  csv.write_csv("fms_ablation_churn.csv");
+  std::printf(
+      "\nreading: the fixed column pays the straggler tail every round — "
+      "the commit waits on the slowest quorum member however long its "
+      "retransmit backoff stacked up — while the adaptive column caps "
+      "rounds near the recent p90 and folds the tail into delay "
+      "compensation, so its summed simulated time drops well below the "
+      "fixed column (most visibly in the burst row) at comparable final "
+      "accuracy.\n");
+  return 0;
+}

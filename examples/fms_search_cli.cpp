@@ -37,7 +37,8 @@ const char* kUsage =
     "                      [--timeout SECONDS] [--checkpoint-every N]\n"
     "                      [--resume PATH] [--aggregator NAME[:F]]\n"
     "                      [--winsorize-rewards K] [--baseline-mode MODE]\n"
-    "                      [--adaptive-screen K]\n"
+    "                      [--adaptive-screen K] [--churn-plan SPEC]\n"
+    "                      [--adaptive-timeout] [--max-degrade-mode N]\n"
     "\n"
     "fault flags:\n"
     "  --fault-plan SPEC     comma 'key=value' fault schedule (or 'severe'),\n"
@@ -75,7 +76,19 @@ const char* kUsage =
     "                        before the alpha update (0 = off; 1.5 = Tukey)\n"
     "  --baseline-mode MODE  REINFORCE baseline statistic: mean|median\n"
     "  --adaptive-screen K   tighten the screening norm bound to\n"
-    "                        median + K*MAD of the round's arrivals\n";
+    "                        median + K*MAD of the round's arrivals\n"
+    "\n"
+    "churn flags:\n"
+    "  --churn-plan SPEC     comma 'key=value' membership schedule, e.g.\n"
+    "                        leave=0.06,away_min=2,away_max=6,burst=0.5,\n"
+    "                        burst_round=20,burst_away=10,late_join=0.2,\n"
+    "                        diurnal=0.5,diurnal_period=48,seed=N\n"
+    "  --adaptive-timeout    replace the static --timeout cap with a\n"
+    "                        windowed p90 of recent round times (x1.5 slack)\n"
+    "                        once the estimator is warm\n"
+    "  --max-degrade-mode N  arm the graceful-degradation ladder down to\n"
+    "                        mode N: 1 relax deadline, 2 shrink cohort,\n"
+    "                        3 partial-quorum commit (0 = off, default)\n";
 
 }  // namespace
 
@@ -108,6 +121,9 @@ int main(int argc, char** argv) {
   double winsorize_k = 0.0;
   std::string baseline_mode = "mean";
   double adaptive_screen_k = 0.0;
+  std::string churn_plan_spec;
+  bool adaptive_timeout = false;
+  int max_degrade_mode = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -188,6 +204,16 @@ int main(int argc, char** argv) {
       baseline_mode = need_value("--baseline-mode");
     } else if (!std::strcmp(argv[i], "--adaptive-screen")) {
       adaptive_screen_k = std::atof(need_value("--adaptive-screen"));
+    } else if (!std::strcmp(argv[i], "--churn-plan")) {
+      churn_plan_spec = need_value("--churn-plan");
+    } else if (const char* v5 = eq_value("--churn-plan")) {
+      churn_plan_spec = v5;
+    } else if (!std::strcmp(argv[i], "--adaptive-timeout")) {
+      adaptive_timeout = true;
+    } else if (!std::strcmp(argv[i], "--max-degrade-mode")) {
+      max_degrade_mode = std::atoi(need_value("--max-degrade-mode"));
+    } else if (const char* v6 = eq_value("--max-degrade-mode")) {
+      max_degrade_mode = std::atoi(v6);
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       std::printf("%s", kUsage);
       return 0;
@@ -199,6 +225,7 @@ int main(int argc, char** argv) {
   if (participants < 1 || rounds < 0 || warmup < 0 || quorum <= 0.0 ||
       quorum > 1.0 || timeout_s < 0.0 || checkpoint_every < 0 ||
       winsorize_k < 0.0 || adaptive_screen_k < 0.0 || flight_recorder < 0 ||
+      max_degrade_mode < 0 || max_degrade_mode > 3 ||
       (baseline_mode != "mean" && baseline_mode != "median")) {
     std::fprintf(stderr, "invalid arguments\n%s", kUsage);
     return 2;
@@ -285,6 +312,11 @@ int main(int argc, char** argv) {
     opts.adaptive_screen = true;
     opts.adaptive_screen_k = adaptive_screen_k;
   }
+  if (!churn_plan_spec.empty()) {
+    opts.churn_plan = ChurnPlan::parse(churn_plan_spec);
+  }
+  opts.adaptive_timeout.enabled = adaptive_timeout;
+  opts.degrade.max_mode = max_degrade_mode;
   opts.quorum = quorum;
   opts.round_timeout_s = timeout_s;
   opts.checkpoint_every = checkpoint_every;
@@ -315,12 +347,13 @@ int main(int argc, char** argv) {
     const FaultStats& fs = search.fault_stats();
     std::printf(
         "faults: injected %llu (crash %llu, dropout %llu, link %llu, "
-        "corrupt %llu, divergent %llu) = rejected %llu + dropped %llu + "
-        "recovered %llu; retransmits %llu\n",
+        "uplink %llu, corrupt %llu, divergent %llu) = rejected %llu + "
+        "dropped %llu + recovered %llu; retransmits %llu\n",
         static_cast<unsigned long long>(fs.injected_total()),
         static_cast<unsigned long long>(fs.injected_crash),
         static_cast<unsigned long long>(fs.injected_dropout),
         static_cast<unsigned long long>(fs.injected_link),
+        static_cast<unsigned long long>(fs.injected_uplink),
         static_cast<unsigned long long>(fs.injected_corrupt),
         static_cast<unsigned long long>(fs.injected_divergent),
         static_cast<unsigned long long>(fs.rejected),
@@ -337,6 +370,17 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(fs.injected_collude),
           static_cast<unsigned long long>(fs.injected_reward));
     }
+  }
+  // Churn + degradation summary: membership totals and the ladder's path.
+  if (!opts.churn_plan.empty() || max_degrade_mode > 0) {
+    const ClientRegistry& reg = search.registry();
+    std::printf(
+        "churn: %llu rejoins, %llu leaves across %d clients; degradation "
+        "transitions %d, final mode %s\n",
+        static_cast<unsigned long long>(reg.total_joins()),
+        static_cast<unsigned long long>(reg.total_leaves()), reg.size(),
+        search.degrade_transitions(),
+        degrade_mode_name(search.degrade_mode()));
   }
   // Robustness summary: what the defended channels actually removed.
   if (opts.aggregator.kind != agg::AggregatorKind::kMean ||

@@ -22,10 +22,11 @@ namespace fms {
 namespace {
 
 // Header of the opaque runtime-state blob inside v2 checkpoints. Bumped to
-// "FMS3" when the fault ledger grew Byzantine counters and the robustness
-// ledger was appended: older blobs fail the magic check instead of
-// misparsing a shifted layout.
-constexpr std::uint32_t kRuntimeMagic = 0x464d5333;  // "FMS3"
+// "FMS4" when the churn layer appended the client registry, the deadline-
+// estimator window, and the degradation-controller state (and the fault
+// ledger grew the uplink counter): older blobs fail the magic check
+// instead of misparsing a shifted layout.
+constexpr std::uint32_t kRuntimeMagic = 0x464d5334;  // "FMS4"
 
 }  // namespace
 
@@ -60,6 +61,7 @@ FederatedSearch::FederatedSearch(const SearchConfig& cfg,
     traces_.emplace_back(
         static_cast<NetEnvironment>(k % kNumNetEnvironments), rng_.fork());
   }
+  registry_ = ClientRegistry(static_cast<int>(partition.size()));
 }
 
 FederatedSearch::~FederatedSearch() {
@@ -121,6 +123,22 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   const FaultInjector injector(opts.fault_plan, k);
   const bool faults = injector.active();
 
+  // --- churn membership + degradation mode for the round ---
+  // The churn model is a pure function of (seed, client, round); the
+  // registry persists each client's history across membership changes.
+  // Both are observational with an empty plan: live == k, joined == left
+  // == 0, and the round proceeds exactly as before the churn layer.
+  const ChurnModel churn(opts.churn_plan, k);
+  const ClientRegistry::RoundMembership mem = registry_.begin_round(churn, t);
+  rec.live = mem.live;
+  rec.joined = mem.joined;
+  rec.left = mem.left;
+  // The ladder mode was decided by previous rounds' outcomes (causal, so
+  // checkpoint/resume replays it exactly); this round runs under it.
+  const DegradeMode mode =
+      opts.degrade.max_mode > 0 ? degrade_.mode() : DegradeMode::kNormal;
+  rec.degrade_mode = static_cast<int>(mode);
+
   // --- sample masks and snapshot state (Alg. 1 lines 4-9) ---
   std::vector<Mask> masks;
   const bool soft_sync = opts.stale_policy != StalePolicy::kHardSync;
@@ -145,6 +163,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   std::vector<char> offline(static_cast<std::size_t>(k), 0);
   std::vector<char> link_dead(static_cast<std::size_t>(k), 0);
   std::vector<LinkOutcome> links(static_cast<std::size_t>(k));
+  LatencyStats lat;  // raw modeled latencies; cohort selection reads them
   {
     FMS_SPAN("transmit");
     std::vector<std::size_t> model_bytes;
@@ -159,7 +178,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       bandwidths.push_back(traces_[static_cast<std::size_t>(i)].next_bps());
     }
     assignment = assign_models(model_bytes, bandwidths, opts.assign, rng_);
-    LatencyStats lat = transmission_latency(
+    lat = transmission_latency(
         model_bytes, bandwidths, assignment,
         opts.assign == AssignStrategy::kAverageSize);
     rec.max_latency_s = lat.max_seconds;
@@ -188,9 +207,51 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     }
   }
 
+  // --- cohort selection (degradation mode >= shrink_cohort): dispatch
+  // only to the fastest cohort_fraction of the live fleet, ranked by the
+  // raw modeled download latency (the bandwidth the server just measured),
+  // ties broken by id — deterministic, no RNG draw.
+  std::vector<char> in_cohort(static_cast<std::size_t>(k), 0);
+  {
+    for (int i = 0; i < k; ++i) {
+      in_cohort[static_cast<std::size_t>(i)] =
+          mem.live_mask[static_cast<std::size_t>(i)];
+    }
+    if (mode >= DegradeMode::kShrinkCohort && mem.live > 0) {
+      std::vector<std::pair<double, int>> order;
+      order.reserve(static_cast<std::size_t>(mem.live));
+      for (int i = 0; i < k; ++i) {
+        if (mem.live_mask[static_cast<std::size_t>(i)] != 0) {
+          order.emplace_back(lat.per_participant[static_cast<std::size_t>(i)],
+                             i);
+        }
+      }
+      std::sort(order.begin(), order.end());
+      int keep = static_cast<int>(
+          std::ceil(opts.degrade.cohort_fraction *
+                    static_cast<double>(mem.live)));
+      keep = std::max(keep, std::min(opts.degrade.min_cohort, mem.live));
+      keep = std::min(keep, mem.live);
+      for (std::size_t o = static_cast<std::size_t>(keep); o < order.size();
+           ++o) {
+        in_cohort[static_cast<std::size_t>(order[o].second)] = 0;
+      }
+    }
+  }
+  rec.cohort = 0;
+  for (int i = 0; i < k; ++i) {
+    if (in_cohort[static_cast<std::size_t>(i)] != 0) ++rec.cohort;
+  }
+  rec.shed = mem.live - rec.cohort;
+
   // --- quorum commit (defense): close the round at the ceil(q*K)-th
-  // arrival or the timeout, whichever comes first. Updates expected after
-  // the deadline are "late" and fold into the soft-sync/DC path.
+  // arrival or the timeout cap, whichever comes first. Updates expected
+  // after the deadline are "late" and fold into the soft-sync/DC path.
+  // The quorum count stays anchored to the full registry population K:
+  // committing with less coverage than ceil(q*K) is a partial quorum even
+  // when churn shrank the live set — that erosion is exactly the signal
+  // the degradation controller keys on. Mode >= partial_quorum relieves
+  // the requirement itself so rounds commit with what arrived.
   double deadline = std::numeric_limits<double>::infinity();
   {
     FMS_SPAN("quorum");
@@ -198,27 +259,28 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     cands.reserve(static_cast<std::size_t>(k));
     for (int i = 0; i < k; ++i) {
       const auto ui = static_cast<std::size_t>(i);
-      if (offline[ui] == 0 && link_dead[ui] == 0) cands.push_back(latency[ui]);
+      if (in_cohort[ui] != 0 && offline[ui] == 0 && link_dead[ui] == 0) {
+        cands.push_back(latency[ui]);
+      }
     }
-    std::sort(cands.begin(), cands.end());
-    const auto q_need = static_cast<std::size_t>(
-        std::ceil(opts.quorum * static_cast<double>(k)));
-    if (!cands.empty()) {
-      deadline = cands.size() >= q_need && q_need > 0 ? cands[q_need - 1]
-                                                      : cands.back();
+    // Timeout cap: the adaptive windowed-quantile deadline replaces the
+    // static round_timeout_s once warm; degradation mode >= relax_deadline
+    // stretches whichever cap is in effect.
+    double timeout = opts.round_timeout_s;
+    if (opts.adaptive_timeout.enabled) {
+      const double est = deadline_est_.deadline(opts.adaptive_timeout);
+      if (std::isfinite(est)) timeout = est;
     }
-    if (opts.round_timeout_s > 0.0) {
-      deadline = std::min(deadline, opts.round_timeout_s);
+    if (mode >= DegradeMode::kRelaxDeadline && timeout > 0.0) {
+      timeout *= opts.degrade.relax_factor;
     }
-    std::size_t on_time = 0;
-    for (double c : cands) {
-      if (c <= deadline + 1e-12) ++on_time;
-    }
-    rec.partial_quorum = on_time < q_need;
-    rec.commit_latency_s =
-        std::isfinite(deadline)
-            ? deadline
-            : (cands.empty() ? 0.0 : cands.back());
+    rec.deadline_s = timeout;
+    double q = opts.quorum;
+    if (mode >= DegradeMode::kPartialQuorum) q *= opts.degrade.quorum_relief;
+    const QuorumOutcome qo = quorum_commit(cands, q, k, timeout);
+    deadline = qo.deadline;
+    rec.partial_quorum = qo.partial;
+    rec.commit_latency_s = qo.commit_latency_s;
     if (tracing) {
       // Server-track commit event at the deadline tick.
       trace.record(-1, obs::Stage::kQuorum, rec.commit_latency_s, 0.0,
@@ -253,10 +315,28 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
   };
   for (int i = 0; i < k; ++i) {
     const auto ui = static_cast<std::size_t>(i);
-    // Staleness draws happen for every participant — even offline ones —
-    // so faulty and fault-free runs consume the same staleness stream.
+    // Staleness draws happen for every participant — even offline or
+    // churned-away ones — so faulty/churny and clean runs consume the
+    // same staleness stream.
     const int tau_draw =
         soft_sync ? opts.staleness.sample_traced(staleness_rng_, i) : 0;
+    if (mem.live_mask[ui] == 0) {
+      // Churned away: not a fault. The server never dispatches, charges
+      // no bytes, and books nothing in the fault ledger — the client
+      // simply is not there this round.
+      if (tracing) {
+        trace.record(i, obs::Stage::kDrop, 0.0, 0.0, 0.0, "churn_absent");
+      }
+      continue;
+    }
+    if (in_cohort[ui] == 0) {
+      // Shed by cohort shrink (degradation mode >= 2): live but not
+      // dispatched to this round.
+      if (tracing) {
+        trace.record(i, obs::Stage::kDrop, 0.0, 0.0, 0.0, "cohort_shed");
+      }
+      continue;
+    }
     if (offline[ui] != 0) {
       ++rec.offline;
       if (injector.is_crashed(i, t)) {
@@ -338,6 +418,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
       trace.record(i, obs::Stage::kDispatch, 0.0, 0.0,
                    static_cast<double>(down));
     }
+    registry_.note_dispatch(i, latency[ui]);
 
     UpdateMsg upd = participants_[ui]->train_step(msg);
     if (tracing) {
@@ -379,8 +460,56 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
     rec.bytes_up += up;
     if (up_hist != nullptr) up_hist->observe(static_cast<double>(up));
 
+    // Upload-link faults with bounded retransmit + seeded backoff jitter:
+    // a dead uplink drops the update after the client's bytes were spent;
+    // recovered retries push its arrival later (possibly past the
+    // deadline, where the soft-sync path absorbs it as stale).
+    double up_extra = 0.0;
+    if (faults) {
+      const LinkOutcome up_link = injector.upload_outcome(
+          i, t, opts.max_retransmits, opts.retransmit_backoff_s);
+      if (up_link.faulted()) {
+        ++fault_stats_.injected_uplink;
+        fault_stats_.retransmits +=
+            static_cast<std::uint64_t>(up_link.retransmits);
+        rec.retransmits += up_link.retransmits;
+        if (tracing) {
+          trace.record(i, obs::Stage::kFault, latency[ui],
+                       up_link.extra_seconds,
+                       static_cast<double>(up_link.retransmits),
+                       up_link.delivered ? "uplink:recovered" : "uplink:dead");
+        }
+        if (!up_link.delivered) {
+          ++fault_stats_.dropped;  // the reply never reaches the server
+          ++rec.dropped;
+          account_payload_drop(uf);
+          if (tracing) {
+            trace.record(i, obs::Stage::kDrop, latency[ui], 0.0, 0.0,
+                         "uplink_dead");
+          }
+          continue;
+        }
+        ++fault_stats_.recovered;
+        up_extra = up_link.extra_seconds;
+      }
+    }
+    const double arrive_s = latency[ui] + up_extra;
+    // Feed the adaptive-deadline window with committed on-time round
+    // times (always, so checkpoints carry a warm window whether or not
+    // adaptive deadlines are enabled yet). Pure bookkeeping: no RNG, no
+    // effect on the trajectory unless adaptive_timeout.enabled.
+    if (arrive_s <= deadline + 1e-12) {
+      deadline_est_.add_sample(arrive_s, opts.adaptive_timeout.window);
+    }
+
     int tau = tau_draw;
-    if (latency[ui] > deadline + 1e-12) {
+    if (soft_sync && mem.rejoined[ui] != 0 && tau != kExceedsThreshold) {
+      // A rejoining client trained against the state it last saw: its
+      // first update back flows through the staleness/DC path rather
+      // than being applied as fresh.
+      tau = std::max(tau, 1);
+    }
+    if (arrive_s > deadline + 1e-12) {
       // Missed the quorum commit: fold into the soft-sync path one round
       // late at minimum; hard sync has no stale path, so the update drops.
       ++rec.late;
@@ -390,7 +519,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         ++rec.dropped;
         account_payload_drop(uf);
         if (tracing) {
-          trace.record(i, obs::Stage::kDrop, latency[ui], 0.0, 0.0, "late");
+          trace.record(i, obs::Stage::kDrop, arrive_s, 0.0, 0.0, "late");
         }
         continue;
       }
@@ -536,6 +665,7 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
         alpha_terms.emplace_back(upd.reward, std::move(dlogp));
         reward_sum += upd.reward;
         ++m;
+        registry_.note_applied(upd.participant, tau);
         // A faulted payload that survived screening and got applied was
         // absorbed by training — the third and final outcome.
         if (pf.has_value()) ++fault_stats_.recovered;
@@ -672,10 +802,35 @@ RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
 
   if (soft_sync) pool_.evict(t);
 
+  // --- degradation controller (hysteresis over committed outcomes) ---
+  if (opts.degrade.max_mode > 0) {
+    // Bad round: the quorum was not met on time, or the timeout cap
+    // itself closed the round while stragglers were still inbound
+    // (deadline blow-through).
+    const bool cap_bound = rec.deadline_s > 0.0 &&
+                           std::isfinite(deadline) &&
+                           deadline >= rec.deadline_s - 1e-12 && rec.late > 0;
+    const DegradationController::Transition dtr =
+        degrade_.observe(rec.partial_quorum || cap_bound, opts.degrade);
+    if (dtr.changed) {
+      rec.degrade_transition = std::string(degrade_mode_name(dtr.from)) +
+                               "->" + degrade_mode_name(dtr.to);
+      if (static_cast<int>(dtr.to) > static_cast<int>(dtr.from)) {
+        // Stepping deeper into degradation is an incident: snapshot the
+        // per-participant lifecycle ring for the post-mortem.
+        trace.dump_flight(std::string("degrade_enter:") +
+                          degrade_mode_name(dtr.to));
+      }
+    }
+  }
+
   // --- search-health monitor + flight-recorder triggers ---
   if (health_) {
     obs::HealthSignal sig;
     sig.participants = k;
+    sig.live = rec.live;
+    sig.joined = rec.joined;
+    sig.left = rec.left;
     if (obs::alloc_tracking_enabled()) {
       sig.live_alloc_bytes = obs::alloc_stats().live_bytes;
     }
@@ -764,6 +919,24 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
   if (rec.partial_quorum) reg.counter("fms.rounds.partial_quorum").add(1);
   reg.histogram("fms.round.commit_latency_s").observe(rec.commit_latency_s);
 
+  // Churn + degradation: membership deltas, live population, ladder mode.
+  add_delta("fms.fault.injected.uplink", fault_stats_.injected_uplink,
+            before.injected_uplink);
+  if (rec.joined > 0) {
+    reg.counter("fms.churn.joined").add(static_cast<std::uint64_t>(rec.joined));
+  }
+  if (rec.left > 0) {
+    reg.counter("fms.churn.left").add(static_cast<std::uint64_t>(rec.left));
+  }
+  if (rec.shed > 0) {
+    reg.counter("fms.churn.shed").add(static_cast<std::uint64_t>(rec.shed));
+  }
+  reg.gauge("fms.churn.live").set(static_cast<double>(rec.live));
+  reg.gauge("fms.degrade.mode").set(static_cast<double>(rec.degrade_mode));
+  if (!rec.degrade_transition.empty()) {
+    reg.counter("fms.degrade.transitions").add(1);
+  }
+
   // Robust-aggregation counters: how much influence the estimator removed.
   if (rec.agg_clipped > 0) {
     reg.counter("fms.agg.clipped").add(static_cast<std::uint64_t>(rec.agg_clipped));
@@ -834,6 +1007,13 @@ void FederatedSearch::record_round_telemetry(const RoundRecord& rec,
       {"winsorized", static_cast<double>(rec.winsorized)},
       {"screen_bound", rec.screen_bound},
       {"health", static_cast<double>(rec.health)},
+      {"live", static_cast<double>(rec.live)},
+      {"joined", static_cast<double>(rec.joined)},
+      {"left", static_cast<double>(rec.left)},
+      {"cohort", static_cast<double>(rec.cohort)},
+      {"shed", static_cast<double>(rec.shed)},
+      {"deadline_s", rec.deadline_s},
+      {"degrade_mode", static_cast<double>(rec.degrade_mode)},
   };
   telemetry.emit(std::move(event));
 
@@ -923,6 +1103,12 @@ std::vector<std::uint8_t> FederatedSearch::serialize_runtime_state() const {
     w.write(static_cast<std::uint32_t>(updates.size()));
     for (const UpdateMsg& u : updates) w.write_vector(u.serialize());
   }
+  // Churn layer (FMS4): membership history, the adaptive-deadline window,
+  // and the degradation ladder — so a resumed search replays the exact
+  // membership deltas, deadlines, and mode transitions.
+  registry_.serialize(w);
+  deadline_est_.serialize(w);
+  degrade_.serialize(w);
   return w.take();
 }
 
@@ -998,6 +1184,9 @@ void FederatedSearch::restore_runtime_state(
       updates.push_back(UpdateMsg::deserialize(r.read_vector<std::uint8_t>()));
     }
   }
+  registry_.restore(r);
+  deadline_est_.restore(r);
+  degrade_.restore(r);
   FMS_CHECK_MSG(r.exhausted(), "trailing bytes in runtime state");
 }
 

@@ -21,14 +21,18 @@
 #include "src/common/config.h"
 #include "src/common/stats.h"
 #include "src/core/checkpoint.h"
+#include "src/core/deadline.h"
 #include "src/data/dataset.h"
 #include "src/dc/compensation.h"
+#include "src/fault/degrade.h"
 #include "src/fault/fault.h"
 #include "src/fed/compression.h"
 #include "src/fed/participant.h"
+#include "src/fed/registry.h"
 #include "src/net/trace.h"
 #include "src/net/transmission.h"
 #include "src/nn/optim.h"
+#include "src/sim/churn.h"
 #include "src/sim/staleness.h"
 
 namespace fms {
@@ -93,6 +97,18 @@ struct SearchOptions {
   // Statistic feeding the REINFORCE baseline EMA (Eq. 9); the median
   // variant is immune to any lying minority.
   BaselineMode baseline_mode = BaselineMode::kMeanReward;
+  // --- churn + graceful degradation (PR 7) ---
+  // Deterministic membership schedule; an empty plan keeps every client
+  // live every round. Churned-away clients are *not* faults: nothing is
+  // dispatched to them and nothing enters the fault ledger.
+  ChurnPlan churn_plan;
+  // Adaptive round deadline: when enabled and warm, a windowed-quantile
+  // estimate of recent committed per-participant round times replaces the
+  // static round_timeout_s as the commit cap.
+  AdaptiveTimeoutConfig adaptive_timeout;
+  // Graceful-degradation ladder (relax deadline -> shrink cohort ->
+  // partial-quorum commit); degrade.max_mode = 0 disables the controller.
+  DegradeConfig degrade;
   // Auto-checkpoint cadence (crash-recovery): every checkpoint_every
   // rounds the full search state is written to checkpoint_path.
   int checkpoint_every = 0;  // 0 disables
@@ -138,6 +154,17 @@ struct RoundRecord {
   // preserving the bit-identity contract.
   int health = 0;                 // worst detector: 0 OK / 1 WARN / 2 CRIT
   std::string health_trips;       // detectors at WARN+, comma-joined
+  // Churn + graceful-degradation observability. A churn-free run reports
+  // live == K, joined == left == shed == 0, cohort == K, degrade_mode 0.
+  int live = 0;       // clients live under the churn schedule
+  int joined = 0;     // absent -> live transitions this round
+  int left = 0;       // live -> absent transitions this round
+  int cohort = 0;     // clients actually dispatched to
+  int shed = 0;       // live clients skipped by cohort shrink (mode >= 2)
+  double deadline_s = 0.0;  // timeout cap in effect (0 = uncapped)
+  int degrade_mode = 0;     // ladder mode in effect during the round
+  // "from->to" when the controller moved at the end of this round.
+  std::string degrade_transition;
 };
 
 // Cumulative robustness ledger across all rounds (CLI summary): how much
@@ -193,6 +220,12 @@ class FederatedSearch {
   const FaultStats& fault_stats() const { return fault_stats_; }
   // Cumulative robust-aggregation ledger across all rounds run so far.
   const RobustStats& robust_stats() const { return robust_stats_; }
+  // Persistent per-client registry (membership history, device profiles,
+  // latency momentum, staleness history).
+  const ClientRegistry& registry() const { return registry_; }
+  // Degradation ladder mode after the last committed round.
+  DegradeMode degrade_mode() const { return degrade_.mode(); }
+  int degrade_transitions() const { return degrade_.transitions(); }
 
   // Online search-health monitor (nullptr unless cfg.telemetry.health or
   // a health_report_path was configured). The destructor writes the
@@ -227,6 +260,9 @@ class FederatedSearch {
   WindowAverage moving_;
   FaultStats fault_stats_;
   RobustStats robust_stats_;
+  ClientRegistry registry_;
+  DeadlineEstimator deadline_est_;
+  DegradationController degrade_;
   int round_counter_ = 0;
   std::size_t total_bytes_down_ = 0;
   std::size_t total_bytes_up_ = 0;

@@ -19,6 +19,8 @@ constexpr std::uint64_t kSaltCrashSelect = 0xC1;
 constexpr std::uint64_t kSaltCrashRound = 0xC2;
 constexpr std::uint64_t kSaltDropout = 0xD0;
 constexpr std::uint64_t kSaltLink = 0x11;
+constexpr std::uint64_t kSaltUplink = 0x12;
+constexpr std::uint64_t kSaltUplinkJitter = 0x13;
 constexpr std::uint64_t kSaltCollapse = 0xB0;
 constexpr std::uint64_t kSaltCorrupt = 0xC0;
 constexpr std::uint64_t kSaltCorruptBits = 0xCB;
@@ -91,8 +93,8 @@ const char* fault_kind_name(FaultKind k) {
 
 bool FaultPlan::empty() const {
   return crash_fraction <= 0.0 && dropout_p <= 0.0 && link_failure_p <= 0.0 &&
-         collapse_p <= 0.0 && corrupt_p <= 0.0 && divergent_fraction <= 0.0 &&
-         !has_byzantine();
+         uplink_failure_p <= 0.0 && collapse_p <= 0.0 && corrupt_p <= 0.0 &&
+         divergent_fraction <= 0.0 && !has_byzantine();
 }
 
 bool FaultPlan::has_byzantine() const {
@@ -138,6 +140,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       FMS_CHECK_MSG(plan.dropout_rounds >= 1, "dropout_rounds must be >= 1");
     } else if (key == "link") {
       plan.link_failure_p = parse_prob(key, value);
+    } else if (key == "uplink") {
+      plan.uplink_failure_p = parse_prob(key, value);
+    } else if (key == "backoff_jitter") {
+      plan.backoff_jitter = parse_prob(key, value);
     } else if (key == "collapse") {
       plan.collapse_p = parse_prob(key, value);
     } else if (key == "collapse_factor") {
@@ -191,6 +197,7 @@ std::string FaultPlan::to_string() const {
   os << "crash=" << crash_fraction << ",crash_round=" << crash_round
      << ",crash_spread=" << crash_spread << ",dropout=" << dropout_p
      << ",dropout_rounds=" << dropout_rounds << ",link=" << link_failure_p
+     << ",uplink=" << uplink_failure_p << ",backoff_jitter=" << backoff_jitter
      << ",collapse=" << collapse_p << ",collapse_factor=" << collapse_factor
      << ",corrupt=" << corrupt_p << ",corrupt_bits=" << corrupt_bits
      << ",divergent=" << divergent_fraction << ",divergent_p=" << divergent_p
@@ -260,6 +267,38 @@ LinkOutcome FaultInjector::link_outcome(int participant, int round,
   }
   if (plan_.collapse_p > 0.0 && u01(kSaltCollapse, p, r) < plan_.collapse_p) {
     out.bandwidth_scale = plan_.collapse_factor;
+  }
+  return out;
+}
+
+LinkOutcome FaultInjector::upload_outcome(int participant, int round,
+                                          int max_retransmits,
+                                          double backoff_s) const {
+  LinkOutcome out;
+  if (plan_.uplink_failure_p <= 0.0) return out;
+  const auto p = static_cast<std::uint64_t>(participant);
+  const auto r = static_cast<std::uint64_t>(round);
+  double backoff = backoff_s;
+  for (int attempt = 0; attempt <= max_retransmits; ++attempt) {
+    const std::uint64_t word = r * 64 + static_cast<std::uint64_t>(attempt);
+    if (u01(kSaltUplink, p, word) < plan_.uplink_failure_p) {
+      if (attempt == max_retransmits) {
+        out.delivered = false;
+        return out;
+      }
+      ++out.retransmits;
+      // Exponential backoff with deterministic seeded jitter: hashing
+      // (participant, round, attempt) spreads colliding retries without
+      // consuming any RNG stream the checkpoint would have to carry.
+      const double jitter =
+          plan_.backoff_jitter > 0.0
+              ? 1.0 + plan_.backoff_jitter * u01(kSaltUplinkJitter, p, word)
+              : 1.0;
+      out.extra_seconds += backoff * jitter;
+      backoff *= 2.0;
+      continue;
+    }
+    break;
   }
   return out;
 }

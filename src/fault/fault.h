@@ -54,6 +54,12 @@ struct FaultPlan {
   double dropout_p = 0.0;        // P(transient dropout starts) per round
   int dropout_rounds = 2;        // rounds offline before recovery
   double link_failure_p = 0.0;   // P(a download attempt fails)
+  double uplink_failure_p = 0.0; // P(an upload attempt fails)
+  // Deterministic seeded jitter on the upload retransmit backoff: the
+  // n-th retry waits backoff * 2^n * (1 + backoff_jitter * u) with u a
+  // per-(participant, round, attempt) hash draw — decorrelates retry
+  // storms without an RNG stream to checkpoint.
+  double backoff_jitter = 0.0;   // in [0, 1]
   double collapse_p = 0.0;       // P(bandwidth collapses) per round
   double collapse_factor = 0.05; // surviving bandwidth fraction
   double corrupt_p = 0.0;        // P(payload bit flips) per update
@@ -84,9 +90,9 @@ struct FaultPlan {
   // Parses "key=value" pairs separated by commas, e.g.
   //   "crash=0.3,crash_round=5,corrupt=0.2,divergent=0.3,link=0.1,seed=7"
   // Keys: crash, crash_round, crash_spread, dropout, dropout_rounds, link,
-  // collapse, collapse_factor, corrupt, corrupt_bits, divergent,
-  // divergent_p, sign_flip, sign_flip_lambda, grad_scale,
-  // grad_scale_lambda, collude, collude_scale, reward_attack,
+  // uplink, backoff_jitter, collapse, collapse_factor, corrupt,
+  // corrupt_bits, divergent, divergent_p, sign_flip, sign_flip_lambda,
+  // grad_scale, grad_scale_lambda, collude, collude_scale, reward_attack,
   // reward_attack_delta, seed. Throws CheckError on unknown keys or bad
   // values.
   static FaultPlan parse(const std::string& spec);
@@ -113,6 +119,7 @@ struct FaultStats {
   std::uint64_t injected_crash = 0;
   std::uint64_t injected_dropout = 0;
   std::uint64_t injected_link = 0;
+  std::uint64_t injected_uplink = 0;
   std::uint64_t injected_corrupt = 0;
   std::uint64_t injected_divergent = 0;
   std::uint64_t injected_sign_flip = 0;
@@ -133,7 +140,8 @@ struct FaultStats {
   }
   std::uint64_t injected_total() const {
     return injected_crash + injected_dropout + injected_link +
-           injected_corrupt + injected_divergent + injected_byzantine();
+           injected_uplink + injected_corrupt + injected_divergent +
+           injected_byzantine();
   }
   std::uint64_t accounted() const { return rejected + dropped + recovered; }
 };
@@ -157,6 +165,12 @@ class FaultInjector {
   // doubles the backoff (backoff_s, 2*backoff_s, ...).
   LinkOutcome link_outcome(int participant, int round, int max_retransmits,
                            double backoff_s) const;
+  // Upload-direction counterpart: its own decision stream (so download and
+  // upload schedules stay independent), seeded jitter on the backoff, and
+  // no bandwidth collapse (collapse models the shared physical link and is
+  // already applied on the download leg).
+  LinkOutcome upload_outcome(int participant, int round, int max_retransmits,
+                             double backoff_s) const;
 
   // --- payload faults (at most one per update) ---
   // kDivergent wins over kCorruptPayload when both fire.

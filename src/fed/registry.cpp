@@ -1,0 +1,155 @@
+#include "src/fed/registry.h"
+
+#include "src/common/check.h"
+#include "src/common/serialize.h"
+
+namespace fms {
+namespace {
+
+constexpr double kLatencyEmaBeta = 0.8;  // weight on the running estimate
+
+DeviceProfile device_for(int id) {
+  // Heterogeneous fleet groundwork: clients cycle through the known
+  // device set the same way they cycle through network environments.
+  return id % 2 == 0 ? gtx_1080ti() : jetson_tx2();
+}
+
+}  // namespace
+
+ClientRegistry::ClientRegistry(int num_participants) {
+  clients_.resize(static_cast<std::size_t>(num_participants));
+  for (int i = 0; i < num_participants; ++i) {
+    clients_[static_cast<std::size_t>(i)].id = i;
+    clients_[static_cast<std::size_t>(i)].device = device_for(i);
+  }
+}
+
+const ClientInfo& ClientRegistry::info(int client) const {
+  FMS_CHECK_MSG(client >= 0 && client < size(),
+                "registry has no client " << client);
+  return clients_[static_cast<std::size_t>(client)];
+}
+
+ClientRegistry::RoundMembership ClientRegistry::begin_round(
+    const ChurnModel& churn, int round) {
+  RoundMembership mem;
+  mem.live_mask.assign(clients_.size(), 0);
+  mem.rejoined.assign(clients_.size(), 0);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ClientInfo& c = clients_[i];
+    const bool now = churn.is_live(c.id, round);
+    if (now) {
+      mem.live_mask[i] = 1;
+      ++mem.live;
+      ++c.rounds_live;
+      if (!c.live) {
+        if (initialized_ && c.ever_seen) {
+          // A true rejoin: this client's first update back trained
+          // against the state it last saw and is treated as stale.
+          mem.rejoined[i] = 1;
+        }
+        if (initialized_) ++mem.joined;
+        if (c.ever_seen) ++c.joins;
+      }
+      if (!c.ever_seen) {
+        c.ever_seen = true;
+        c.first_live_round = round;
+      }
+      c.last_live_round = round;
+    } else {
+      ++c.rounds_absent;
+      if (c.live) {
+        ++mem.left;
+        ++c.leaves;
+      }
+    }
+    c.live = now;
+  }
+  initialized_ = true;
+  return mem;
+}
+
+void ClientRegistry::note_dispatch(int client, double latency_s) {
+  ClientInfo& c = clients_[static_cast<std::size_t>(client)];
+  ++c.dispatched;
+  if (c.latency_ema_set) {
+    c.latency_ema =
+        kLatencyEmaBeta * c.latency_ema + (1.0 - kLatencyEmaBeta) * latency_s;
+  } else {
+    c.latency_ema = latency_s;
+    c.latency_ema_set = true;
+  }
+}
+
+void ClientRegistry::note_applied(int client, int tau) {
+  ClientInfo& c = clients_[static_cast<std::size_t>(client)];
+  ++c.updates_applied;
+  if (tau > 0) {
+    ++c.stale_updates;
+    c.tau_sum += static_cast<std::uint64_t>(tau);
+  }
+  if (tau > c.max_tau) c.max_tau = tau;
+}
+
+std::uint64_t ClientRegistry::total_joins() const {
+  std::uint64_t n = 0;
+  for (const ClientInfo& c : clients_) n += static_cast<std::uint64_t>(c.joins);
+  return n;
+}
+
+std::uint64_t ClientRegistry::total_leaves() const {
+  std::uint64_t n = 0;
+  for (const ClientInfo& c : clients_) {
+    n += static_cast<std::uint64_t>(c.leaves);
+  }
+  return n;
+}
+
+void ClientRegistry::serialize(ByteWriter& w) const {
+  w.write(static_cast<std::uint8_t>(initialized_ ? 1 : 0));
+  w.write(static_cast<std::uint32_t>(clients_.size()));
+  for (const ClientInfo& c : clients_) {
+    w.write(static_cast<std::uint8_t>(c.live ? 1 : 0));
+    w.write(static_cast<std::uint8_t>(c.ever_seen ? 1 : 0));
+    w.write(c.first_live_round);
+    w.write(c.last_live_round);
+    w.write(c.joins);
+    w.write(c.leaves);
+    w.write(c.rounds_live);
+    w.write(c.rounds_absent);
+    w.write(c.dispatched);
+    w.write(c.updates_applied);
+    w.write(c.stale_updates);
+    w.write(c.tau_sum);
+    w.write(c.max_tau);
+    w.write(c.latency_ema);
+    w.write(static_cast<std::uint8_t>(c.latency_ema_set ? 1 : 0));
+  }
+}
+
+void ClientRegistry::restore(ByteReader& r) {
+  initialized_ = r.read<std::uint8_t>() != 0;
+  const auto n = r.read<std::uint32_t>();
+  FMS_CHECK_MSG(n == clients_.size(),
+                "checkpoint registry has " << n << " clients, search has "
+                                           << clients_.size());
+  for (ClientInfo& c : clients_) {
+    c.live = r.read<std::uint8_t>() != 0;
+    c.ever_seen = r.read<std::uint8_t>() != 0;
+    c.first_live_round = r.read<int>();
+    c.last_live_round = r.read<int>();
+    c.joins = r.read<int>();
+    c.leaves = r.read<int>();
+    c.rounds_live = r.read<int>();
+    c.rounds_absent = r.read<int>();
+    c.dispatched = r.read<std::uint64_t>();
+    c.updates_applied = r.read<std::uint64_t>();
+    c.stale_updates = r.read<std::uint64_t>();
+    c.tau_sum = r.read<std::uint64_t>();
+    c.max_tau = r.read<int>();
+    c.latency_ema = r.read<double>();
+    c.latency_ema_set = r.read<std::uint8_t>() != 0;
+  }
+}
+
+}  // namespace fms

@@ -24,12 +24,13 @@ enum DetectorIdx : std::size_t {
   kQuorum = 3,
   kScreening = 4,
   kAllocGrowth = 5,
-  kNumDetectors = 6,
+  kChurn = 6,
+  kNumDetectors = 7,
 };
 
 const char* kDetectorNames[kNumDetectors] = {
-    "alpha_entropy", "reward", "staleness",
-    "quorum",        "screening", "alloc_growth",
+    "alpha_entropy", "reward",    "staleness",    "quorum",
+    "screening",     "alloc_growth", "churn",
 };
 
 void push_window(std::vector<double>& w, double v, int window) {
@@ -76,10 +77,12 @@ HealthMonitor::HealthMonitor(HealthConfig cfg) : cfg_(cfg) {
   const double warns[kNumDetectors] = {
       cfg_.entropy_warn,  cfg_.reward_drop_warn, cfg_.staleness_warn,
       cfg_.quorum_warn,   cfg_.screen_warn,      cfg_.alloc_warn_bytes_per_round,
+      cfg_.churn_warn,
   };
   const double crits[kNumDetectors] = {
       cfg_.entropy_crit,  cfg_.reward_drop_crit, cfg_.staleness_crit,
       cfg_.quorum_crit,   cfg_.screen_crit,      cfg_.alloc_crit_bytes_per_round,
+      cfg_.churn_crit,
   };
   for (std::size_t i = 0; i < kNumDetectors; ++i) {
     status_[i].name = kDetectorNames[i];
@@ -131,6 +134,15 @@ HealthState HealthMonitor::observe(const RoundRecord& rec,
   push_window(arrived_w_, static_cast<double>(rec.arrived), cfg_.window);
   if (sig.live_alloc_bytes >= 0) {
     push_window(live_bytes_w_, static_cast<double>(sig.live_alloc_bytes),
+                cfg_.window);
+  }
+  if (sig.live >= 0) {
+    push_window(churn_rate_w_,
+                static_cast<double>(sig.joined + sig.left) /
+                    static_cast<double>(k),
+                cfg_.window);
+    push_window(absent_frac_w_,
+                1.0 - static_cast<double>(sig.live) / static_cast<double>(k),
                 cfg_.window);
   }
 
@@ -239,6 +251,22 @@ HealthState HealthMonitor::observe(const RoundRecord& rec,
       }
     }
     set_state(kAllocGrowth, s, v);
+  }
+
+  // churn-rate spike / live-population collapse: either a membership-
+  // change storm (clients cycling in and out faster than the search can
+  // absorb staleness) or a collapsed live population (a mass-leave has
+  // taken a sustained bite out of the fleet). Idle until the round loop
+  // reports membership.
+  {
+    double v = 0.0;
+    HealthState s = HealthState::kOk;
+    if (!churn_rate_w_.empty()) {
+      v = std::max(window_mean(churn_rate_w_), window_mean(absent_frac_w_));
+      if (armed && v >= cfg_.churn_crit) s = HealthState::kCrit;
+      else if (armed && v >= cfg_.churn_warn) s = HealthState::kWarn;
+    }
+    set_state(kChurn, s, v);
   }
 
   HealthState round_worst = HealthState::kOk;

@@ -75,6 +75,13 @@ struct HealthConfig {
   // bursts with flat rounds in between; a leak grows every round).
   double alloc_warn_bytes_per_round = 4096.0;
   double alloc_crit_bytes_per_round = 65536.0;
+
+  // churn-rate spike / live-population collapse: max of the windowed mean
+  // membership-change rate ((joined + left) / fleet) and the windowed
+  // mean absent fraction (1 - live / fleet). Idle unless the round loop
+  // reports membership (HealthSignal.live >= 0).
+  double churn_warn = 0.25;
+  double churn_crit = 0.45;
 };
 
 // Per-round inputs that live outside RoundRecord.
@@ -83,6 +90,11 @@ struct HealthSignal {
   // off (the alloc detector then stays idle).
   std::int64_t live_alloc_bytes = -1;
   int participants = 0;
+  // Churn membership of the round; live < 0 (the default) keeps the churn
+  // detector idle for callers that predate the churn layer.
+  int live = -1;
+  int joined = 0;
+  int left = 0;
 };
 
 struct DetectorStatus {
@@ -144,6 +156,8 @@ class HealthMonitor {
   std::vector<double> winsorized_w_;
   std::vector<double> arrived_w_;
   std::vector<double> live_bytes_w_;
+  std::vector<double> churn_rate_w_;    // (joined + left) / fleet per round
+  std::vector<double> absent_frac_w_;   // 1 - live / fleet per round
   double best_moving_ = 0.0;
   bool best_moving_set_ = false;
 };

@@ -1,0 +1,196 @@
+#include "src/sim/churn.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace fms {
+namespace {
+
+// Decision-stream salts: each churn process draws from its own hash stream
+// so tuning one rate never reshuffles another process's schedule.
+constexpr std::uint64_t kSaltJoinSelect = 0x30;
+constexpr std::uint64_t kSaltJoinRound = 0x31;
+constexpr std::uint64_t kSaltBurstSelect = 0x32;
+constexpr std::uint64_t kSaltLeave = 0x33;
+constexpr std::uint64_t kSaltAwayDur = 0x34;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                  std::uint64_t b) {
+  std::uint64_t h = splitmix64(seed ^ salt);
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  return h;
+}
+
+double to_u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    FMS_CHECK_MSG(used == value.size() && std::isfinite(v),
+                  "bad churn-plan value for " << key << ": '" << value << "'");
+    return v;
+  } catch (const CheckError&) {
+    throw;
+  } catch (...) {
+    throw CheckError("bad churn-plan value for " + key + ": '" + value + "'");
+  }
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  FMS_CHECK_MSG(v >= 0.0 && v <= 1.0,
+                "churn-plan " << key << " must be in [0, 1], got " << v);
+  return v;
+}
+
+}  // namespace
+
+bool ChurnPlan::empty() const {
+  return leave_p <= 0.0 && late_join_fraction <= 0.0 && burst_fraction <= 0.0;
+}
+
+ChurnPlan ChurnPlan::parse(const std::string& spec) {
+  ChurnPlan plan;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    FMS_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "churn-plan entry '" << item << "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "leave") {
+      plan.leave_p = parse_prob(key, value);
+    } else if (key == "away_min") {
+      plan.away_min = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.away_min >= 1, "away_min must be >= 1");
+    } else if (key == "away_max") {
+      plan.away_max = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.away_max >= 1, "away_max must be >= 1");
+    } else if (key == "late_join") {
+      plan.late_join_fraction = parse_prob(key, value);
+    } else if (key == "join_spread") {
+      plan.join_spread = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.join_spread >= 1, "join_spread must be >= 1");
+    } else if (key == "burst") {
+      plan.burst_fraction = parse_prob(key, value);
+    } else if (key == "burst_round") {
+      plan.burst_round = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.burst_round >= 0, "burst_round must be >= 0");
+    } else if (key == "burst_away") {
+      plan.burst_away = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.burst_away >= 1, "burst_away must be >= 1");
+    } else if (key == "diurnal") {
+      plan.diurnal_amplitude = parse_double(key, value);
+      FMS_CHECK_MSG(plan.diurnal_amplitude >= 0.0, "diurnal must be >= 0");
+    } else if (key == "diurnal_period") {
+      plan.diurnal_period = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.diurnal_period >= 2, "diurnal_period must be >= 2");
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_double(key, value));
+    } else {
+      throw CheckError("unknown churn-plan key '" + key + "'");
+    }
+  }
+  FMS_CHECK_MSG(plan.away_max >= plan.away_min,
+                "churn-plan away_max must be >= away_min");
+  return plan;
+}
+
+std::string ChurnPlan::to_string() const {
+  std::ostringstream os;
+  os << "leave=" << leave_p << ",away_min=" << away_min
+     << ",away_max=" << away_max << ",late_join=" << late_join_fraction
+     << ",join_spread=" << join_spread << ",burst=" << burst_fraction
+     << ",burst_round=" << burst_round << ",burst_away=" << burst_away
+     << ",diurnal=" << diurnal_amplitude
+     << ",diurnal_period=" << diurnal_period << ",seed=" << seed;
+  return os.str();
+}
+
+ChurnModel::ChurnModel(const ChurnPlan& plan, int num_participants)
+    : plan_(plan), num_participants_(num_participants) {
+  FMS_CHECK_MSG(num_participants > 0, "churn model needs participants");
+  FMS_CHECK_MSG(plan_.away_max >= plan_.away_min && plan_.away_min >= 1,
+                "churn plan needs 1 <= away_min <= away_max");
+}
+
+double ChurnModel::u01(std::uint64_t salt, std::uint64_t a,
+                       std::uint64_t b) const {
+  return to_u01(mix(plan_.seed, salt, a, b));
+}
+
+int ChurnModel::join_round(int participant) const {
+  if (plan_.late_join_fraction <= 0.0) return 0;
+  const auto p = static_cast<std::uint64_t>(participant);
+  if (u01(kSaltJoinSelect, p, 0) >= plan_.late_join_fraction) return 0;
+  return 1 + static_cast<int>(u01(kSaltJoinRound, p, 0) *
+                              static_cast<double>(plan_.join_spread));
+}
+
+double ChurnModel::leave_rate(int round) const {
+  if (plan_.leave_p <= 0.0) return 0.0;
+  double rate = plan_.leave_p;
+  if (plan_.diurnal_amplitude > 0.0 && plan_.diurnal_period >= 2) {
+    // Triangle wave in [-1, 1]: trough at the period boundaries, peak
+    // mid-period. Trig-free so the modulation is exactly reproducible.
+    const int phase_i = round % plan_.diurnal_period;
+    const double phase =
+        static_cast<double>(phase_i) / static_cast<double>(plan_.diurnal_period);
+    const double wave = 1.0 - 4.0 * std::abs(phase - 0.5);
+    rate *= 1.0 + plan_.diurnal_amplitude * wave;
+  }
+  return std::min(1.0, std::max(0.0, rate));
+}
+
+bool ChurnModel::in_burst(int participant, int round) const {
+  if (plan_.burst_fraction <= 0.0) return false;
+  if (round < plan_.burst_round ||
+      round >= plan_.burst_round + plan_.burst_away) {
+    return false;
+  }
+  return u01(kSaltBurstSelect, static_cast<std::uint64_t>(participant), 0) <
+         plan_.burst_fraction;
+}
+
+bool ChurnModel::is_live(int participant, int round) const {
+  if (!active()) return true;
+  const int joined = join_round(participant);
+  if (round < joined) return false;
+  if (in_burst(participant, round)) return false;
+  if (plan_.leave_p > 0.0) {
+    const auto p = static_cast<std::uint64_t>(participant);
+    // A leave event at round r keeps the client away for rounds
+    // [r, r + dur); scanning the last away_max rounds covers every event
+    // that could still hold at `round`.
+    for (int r = round - plan_.away_max + 1; r <= round; ++r) {
+      if (r < joined) continue;
+      if (u01(kSaltLeave, p, static_cast<std::uint64_t>(r)) >= leave_rate(r)) {
+        continue;
+      }
+      const int dur =
+          plan_.away_min +
+          static_cast<int>(
+              u01(kSaltAwayDur, p, static_cast<std::uint64_t>(r)) *
+              static_cast<double>(plan_.away_max - plan_.away_min + 1));
+      if (round < r + dur) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fms

@@ -10,6 +10,7 @@
 
 #include "gtest/gtest.h"
 #include "src/core/checkpoint.h"
+#include "src/core/deadline.h"
 #include "src/core/search.h"
 #include "src/data/synth.h"
 #include "src/fault/fault.h"
@@ -484,6 +485,184 @@ TEST(Quorum, FullQuorumNoTimeoutMatchesLegacyBehavior) {
     EXPECT_EQ(r.late, 0);
     EXPECT_FALSE(r.partial_quorum);
   }
+}
+
+// --- quorum close rule: edge cases at the deadline boundary ---
+
+TEST(QuorumCommit, TimeoutAtTheExactQuorumArrivalTickStillCommits) {
+  // The q_need-th arrival lands exactly on the timeout: the commit rule
+  // counts arrivals at or before the deadline, so the round is full.
+  const QuorumOutcome at =
+      quorum_commit({1.0, 2.0, 3.0, 4.0}, 0.5, 4, /*timeout_s=*/2.0);
+  EXPECT_EQ(at.q_need, 2u);
+  EXPECT_DOUBLE_EQ(at.deadline, 2.0);
+  EXPECT_EQ(at.on_time, 2u);
+  EXPECT_FALSE(at.partial);
+  EXPECT_DOUBLE_EQ(at.commit_latency_s, 2.0);
+
+  // A hair earlier and the second arrival misses: partial quorum.
+  const QuorumOutcome early =
+      quorum_commit({1.0, 2.0, 3.0, 4.0}, 0.5, 4, 2.0 - 1e-6);
+  EXPECT_EQ(early.on_time, 1u);
+  EXPECT_TRUE(early.partial);
+}
+
+TEST(QuorumCommit, FullQuorumWithZeroTimeoutWaitsForTheLastArrival) {
+  // quorum = 1.0 with timeout 0 (disabled) reproduces classic full sync:
+  // the round closes at the slowest client, nobody is late.
+  const QuorumOutcome out =
+      quorum_commit({3.0, 1.0, 2.0, 4.0}, 1.0, 4, /*timeout_s=*/0.0);
+  EXPECT_EQ(out.q_need, 4u);
+  EXPECT_DOUBLE_EQ(out.deadline, 4.0);
+  EXPECT_EQ(out.on_time, 4u);
+  EXPECT_FALSE(out.partial);
+  EXPECT_DOUBLE_EQ(out.commit_latency_s, 4.0);
+}
+
+TEST(QuorumCommit, StarvedRoundsCloseAtTheTimeoutOrLastArrival) {
+  // Nobody shows up: a positive timeout still bounds the round.
+  const QuorumOutcome empty = quorum_commit({}, 0.5, 4, 1.5);
+  EXPECT_EQ(empty.q_need, 2u);
+  EXPECT_EQ(empty.on_time, 0u);
+  EXPECT_TRUE(empty.partial);
+  EXPECT_DOUBLE_EQ(empty.commit_latency_s, 1.5);
+
+  // Fewer candidates than the quorum needs, no timeout: the round closes
+  // at the last arrival and reports partial.
+  const QuorumOutcome few = quorum_commit({2.5}, 0.75, 4, 0.0);
+  EXPECT_EQ(few.q_need, 3u);
+  EXPECT_EQ(few.on_time, 1u);
+  EXPECT_TRUE(few.partial);
+  EXPECT_DOUBLE_EQ(few.commit_latency_s, 2.5);
+}
+
+TEST(Quorum, PartialQuorumLateArrivalsFoldIntoDelayCompensation) {
+  // A timeout tight enough that the quorum misses: rounds commit partial,
+  // and the stragglers are not discarded — they fold into the soft-sync
+  // path one round late and go through DC compensation.
+  Rng rng(34);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  cfg.schedule.num_participants = 6;
+  auto parts = iid_partition(tt.train.size(), 6, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  SearchOptions opts;
+  opts.stale_policy = StalePolicy::kCompensate;
+  opts.staleness = StalenessDistribution::none();
+  opts.quorum = 0.9;
+  // Probe latencies once, then pick a timeout between the fastest and the
+  // q_need-th arrival so every round commits partial with live stragglers.
+  {
+    FederatedSearch probe(cfg, tt.train, parts);
+    SearchOptions unbounded = opts;
+    const auto rec = probe.run_search(1, unbounded);
+    opts.round_timeout_s = rec.front().mean_latency_s;
+  }
+  const auto records = search.run_search(10, opts);
+  int partial = 0, late = 0, stale = 0, compensated = 0, arrived = 0;
+  for (const auto& r : records) {
+    partial += r.partial_quorum ? 1 : 0;
+    late += r.late;
+    stale += r.stale_arrived;
+    compensated += r.compensated;
+    arrived += r.arrived;
+  }
+  EXPECT_GT(partial, 0);
+  EXPECT_GT(late, 0);
+  EXPECT_GT(stale, 0);        // the late half arrives one round stale...
+  EXPECT_GT(compensated, 0);  // ...and is delay-compensated, not dropped
+  EXPECT_GT(arrived, 0);
+  EXPECT_EQ(search.fault_stats().injected_total(), 0u);
+}
+
+// --- upload-link retransmit with seeded jitter ---
+
+TEST(FaultInjector, UploadOutcomesAreDeterministicWithJitteredBackoff) {
+  FaultPlan plan;
+  plan.uplink_failure_p = 0.5;
+  plan.backoff_jitter = 0.5;
+  const FaultInjector a(plan, 16);
+  const FaultInjector b(plan, 16);
+  bool saw_recovered = false;
+  bool saw_dead = false;
+  for (int p = 0; p < 16; ++p) {
+    for (int r = 0; r < 32; ++r) {
+      const LinkOutcome oa = a.upload_outcome(p, r, 2, 0.5);
+      const LinkOutcome ob = b.upload_outcome(p, r, 2, 0.5);
+      EXPECT_EQ(oa.delivered, ob.delivered);
+      EXPECT_EQ(oa.retransmits, ob.retransmits);
+      EXPECT_DOUBLE_EQ(oa.extra_seconds, ob.extra_seconds);
+      if (oa.delivered && oa.retransmits > 0) {
+        saw_recovered = true;
+        // Jitter stretches the backoff, never shrinks it: the n-th retry
+        // pays at least backoff * 2^n.
+        double base = 0.0, step = 0.5;
+        for (int n = 0; n < oa.retransmits; ++n, step *= 2.0) base += step;
+        EXPECT_GE(oa.extra_seconds, base);
+        EXPECT_LE(oa.extra_seconds, base * (1.0 + plan.backoff_jitter));
+      }
+      if (!oa.delivered) saw_dead = true;
+    }
+  }
+  EXPECT_TRUE(saw_recovered);
+  EXPECT_TRUE(saw_dead);
+
+  // The upload stream is independent of the download stream: same plan
+  // probabilities, different schedules.
+  FaultPlan both = plan;
+  both.link_failure_p = 0.5;
+  const FaultInjector c(both, 16);
+  int differing = 0;
+  for (int p = 0; p < 16; ++p) {
+    for (int r = 0; r < 32; ++r) {
+      if (c.upload_outcome(p, r, 2, 0.5).delivered !=
+          c.link_outcome(p, r, 2, 0.5).delivered) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, UplinkPlanParsesAndRoundTrips) {
+  const FaultPlan plan =
+      FaultPlan::parse("uplink=0.3,backoff_jitter=0.25,seed=13");
+  EXPECT_DOUBLE_EQ(plan.uplink_failure_p, 0.3);
+  EXPECT_DOUBLE_EQ(plan.backoff_jitter, 0.25);
+  EXPECT_FALSE(plan.empty());
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_DOUBLE_EQ(again.uplink_failure_p, plan.uplink_failure_p);
+  EXPECT_DOUBLE_EQ(again.backoff_jitter, plan.backoff_jitter);
+  EXPECT_THROW(FaultPlan::parse("uplink=1.5"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("backoff_jitter=-0.1"), CheckError);
+}
+
+TEST(FaultCampaign, UplinkFaultsStayExactlyOnceInTheLedger) {
+  Rng rng(43);
+  TrainTest tt = tiny_data(rng);
+  SearchConfig cfg = tiny_config();
+  cfg.schedule.num_participants = 8;
+  auto parts = iid_partition(tt.train.size(), 8, rng);
+  FederatedSearch search(cfg, tt.train, parts);
+  SearchOptions opts;
+  opts.stale_policy = StalePolicy::kCompensate;
+  opts.quorum = 0.5;
+  opts.fault_plan = FaultPlan::parse("uplink=0.5,backoff_jitter=0.5,seed=14");
+  const auto records = search.run_search(12, opts);
+  const FaultStats& stats = search.fault_stats();
+  EXPECT_GT(stats.injected_uplink, 0u);
+  // Every uplink fault resolved exactly once: recovered by a retry or
+  // dropped after the budget, never both, never neither.
+  EXPECT_EQ(stats.injected_total(), stats.accounted());
+  EXPECT_GT(stats.recovered, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  int retransmits = 0, dropped = 0;
+  for (const auto& r : records) {
+    retransmits += r.retransmits;
+    dropped += r.dropped;
+  }
+  EXPECT_GT(retransmits, 0);
+  EXPECT_GT(dropped, 0);
 }
 
 // --- the acceptance campaign: severe faults, search still converges ---

@@ -17,6 +17,7 @@
 #include "src/core/search.h"
 #include "src/data/synth.h"
 #include "src/obs/health.h"
+#include "src/sim/churn.h"
 #include "src/obs/metrics.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/trace_ctx.h"
@@ -94,7 +95,7 @@ TEST_F(HealthTest, DetectorOrderIsFixed) {
   for (const obs::DetectorStatus& d : mon.detectors()) names.push_back(d.name);
   EXPECT_EQ(names, (std::vector<std::string>{
                        "alpha_entropy", "reward", "staleness", "quorum",
-                       "screening", "alloc_growth"}));
+                       "screening", "alloc_growth", "churn"}));
   EXPECT_NE(mon.find("quorum"), nullptr);
   EXPECT_EQ(mon.find("no_such_detector"), nullptr);
 }
@@ -458,6 +459,87 @@ TEST_F(HealthTest, SevereStalenessTripsStalenessDetector) {
   HealthMonitor mon = run_campaign(w, opts, 14);
   EXPECT_GE(mon.find("staleness")->state, HealthState::kWarn)
       << mon.summary_table();
+}
+
+// --- churn detector: idle without the membership signal, trips on
+// membership storms and live-population collapse ---
+
+TEST_F(HealthTest, ChurnDetectorIdlesWithoutMembershipSignal) {
+  HealthMonitor mon(fast_cfg());
+  // sig4() leaves HealthSignal.live at its -1 sentinel: pre-churn callers
+  // never arm the detector no matter how long they feed it.
+  feed(mon, healthy_rec(), 12);
+  EXPECT_EQ(mon.find("churn")->state, HealthState::kOk);
+  EXPECT_LT(mon.find("churn")->value, 1e-12);
+}
+
+TEST_F(HealthTest, ChurnDetectorTripsOnStormAndOnCollapse) {
+  RoundRecord rec = healthy_rec();
+
+  // Membership storm: the fleet stays full but clients cycle in and out
+  // at half the fleet per round — rate (1 + 1) / 4 = 0.5 >= crit.
+  HealthMonitor storm(fast_cfg());
+  HealthSignal churny = sig4();
+  churny.live = 4;
+  churny.joined = 1;
+  churny.left = 1;
+  for (int i = 0; i < 10; ++i) storm.observe(rec, churny);
+  EXPECT_EQ(storm.find("churn")->state, HealthState::kCrit)
+      << storm.summary_table();
+
+  // Population collapse: no transitions at all, but half the fleet is
+  // simply gone — absent fraction 0.5 >= crit.
+  HealthMonitor collapse(fast_cfg());
+  HealthSignal gone = sig4();
+  gone.live = 2;
+  for (int i = 0; i < 10; ++i) collapse.observe(rec, gone);
+  EXPECT_EQ(collapse.find("churn")->state, HealthState::kCrit)
+      << collapse.summary_table();
+
+  // Mild churn warns without reaching CRIT: rate 1 / 4 = 0.25.
+  HealthMonitor mild(fast_cfg());
+  HealthSignal drip = sig4();
+  drip.live = 4;
+  drip.joined = 1;
+  for (int i = 0; i < 10; ++i) mild.observe(rec, drip);
+  EXPECT_EQ(mild.find("churn")->state, HealthState::kWarn)
+      << mild.summary_table();
+
+  // A full, quiet fleet stays OK.
+  HealthMonitor calm(fast_cfg());
+  HealthSignal full = sig4();
+  full.live = 4;
+  for (int i = 0; i < 10; ++i) calm.observe(rec, full);
+  EXPECT_EQ(calm.find("churn")->state, HealthState::kOk);
+}
+
+TEST_F(HealthTest, ChurnCampaignTripsChurnDetectorEndToEnd) {
+  TinyWorld w = make_tiny_world(20, /*participants=*/6);
+  w.cfg.telemetry.enabled = true;
+  w.cfg.telemetry.health = true;
+  SearchOptions opts;
+  opts.stale_policy = StalePolicy::kCompensate;
+  opts.quorum = 0.5;
+  opts.churn_plan =
+      ChurnPlan::parse("leave=0.35,away_min=2,away_max=6,seed=2");
+  FederatedSearch search(w.cfg, w.data.train, w.partition);
+  ASSERT_NE(search.health(), nullptr);
+  search.run_warmup(1);
+  const std::vector<RoundRecord> records = search.run_search(24, opts);
+  EXPECT_GE(search.health()->find("churn")->state, HealthState::kWarn)
+      << search.health()->summary_table();
+  bool named = false;
+  for (const RoundRecord& rec : records) {
+    if (rec.health_trips.find("churn") != std::string::npos) named = true;
+  }
+  EXPECT_TRUE(named);
+  // The detector's windowed statistic is exported with the others.
+  EXPECT_GT(obs::Telemetry::instance().registry().gauge("fms.health.churn")
+                .value(),
+            0.0);
+
+  obs::Telemetry::instance().clear_sinks();
+  obs::set_telemetry_enabled(false);
 }
 
 // --- end-to-end: the integrated path through FederatedSearch ---
