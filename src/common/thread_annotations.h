@@ -1,0 +1,87 @@
+// Clang thread-safety annotations, plus the annotated mutex wrapper the
+// rest of the library locks with.
+//
+// The concurrency layer's locking discipline (which mutex guards which
+// member, which methods require a lock held) was previously enforced only
+// dynamically by TSan. Clang's -Wthread-safety analysis checks the same
+// discipline at compile time, but it needs the capability attributes on
+// the mutex type itself — and libstdc++'s std::mutex carries none. So:
+//
+//   * FMS_GUARDED_BY / FMS_REQUIRES / FMS_ACQUIRE / ... expand to the
+//     clang attributes when building with clang and to nothing elsewhere
+//     (GCC builds see plain code, bit-identical behavior);
+//   * fms::Mutex wraps std::mutex with FMS_CAPABILITY so the analysis can
+//     track acquire/release through it;
+//   * fms::MutexLock is the annotated scoped guard (std::lock_guard is
+//     not annotated, so locking through it would be invisible to the
+//     analysis).
+//
+// Condition variables: use std::condition_variable_any waiting directly
+// on the fms::Mutex (it is BasicLockable), with the explicit loop form
+//
+//   while (!predicate) cv_.wait(mu_);
+//
+// instead of the predicate-lambda overload — the analysis cannot see that
+// a lambda body runs under the lock, but it tracks the loop form fine.
+//
+// Conventions (checked by -Wthread-safety -Werror on the clang CI jobs):
+//   * every member accessed under a mutex is FMS_GUARDED_BY(that mutex);
+//   * private helpers called with the lock held are FMS_REQUIRES(mu_);
+//   * members that are const after construction need no annotation.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define FMS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FMS_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+#define FMS_CAPABILITY(x) FMS_THREAD_ANNOTATION(capability(x))
+#define FMS_SCOPED_CAPABILITY FMS_THREAD_ANNOTATION(scoped_lockable)
+#define FMS_GUARDED_BY(x) FMS_THREAD_ANNOTATION(guarded_by(x))
+#define FMS_PT_GUARDED_BY(x) FMS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FMS_REQUIRES(...) \
+  FMS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FMS_ACQUIRE(...) FMS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FMS_RELEASE(...) FMS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FMS_TRY_ACQUIRE(...) \
+  FMS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FMS_EXCLUDES(...) FMS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FMS_RETURN_CAPABILITY(x) FMS_THREAD_ANNOTATION(lock_returned(x))
+#define FMS_NO_THREAD_SAFETY_ANALYSIS \
+  FMS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fms {
+
+// std::mutex with the capability attribute the analysis needs. Also
+// BasicLockable, so std::condition_variable_any can wait on it directly.
+class FMS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FMS_ACQUIRE() { mu_.lock(); }
+  void unlock() FMS_RELEASE() { mu_.unlock(); }
+  bool try_lock() FMS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated scoped guard (drop-in for std::lock_guard<std::mutex>).
+class FMS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FMS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FMS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace fms

@@ -3,6 +3,11 @@
 // Participant-local training steps are independent and can run in
 // parallel; on single-core hosts the pool degrades gracefully to one
 // worker. parallel_for is the only API the library uses.
+//
+// Locking discipline is compile-time-checked via the thread-safety
+// annotations (src/common/thread_annotations.h): tasks_ and stopping_
+// are guarded by mu_, and the clang CI jobs fail on any unguarded
+// access.
 #pragma once
 
 #include <condition_variable>
@@ -12,6 +17,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace fms {
 
@@ -29,7 +36,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -46,6 +53,8 @@ class ThreadPool {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    // Completion state is local to this call, shared only with the task
+    // lambdas below — a plain mutex is fine (no annotatable members).
     std::mutex done_mu;
     std::condition_variable done_cv;
     std::size_t remaining = n;
@@ -70,7 +79,7 @@ class ThreadPool {
  private:
   void submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       tasks_.push(std::move(task));
     }
     cv_.notify_one();
@@ -80,8 +89,11 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mu_);
+        // Explicit loop (not the predicate overload): the analysis sees
+        // the guarded reads happen with mu_ held; wait() re-acquires
+        // before returning.
+        while (!stopping_ && tasks_.empty()) cv_.wait(mu_);
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -91,10 +103,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ FMS_GUARDED_BY(mu_);
+  std::condition_variable_any cv_;
+  bool stopping_ FMS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fms

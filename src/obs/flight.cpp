@@ -65,7 +65,7 @@ FlightRecorder::FlightRecorder(int capacity_per_participant)
 }
 
 void FlightRecorder::record(const LifecycleEvent& ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   Ring& ring = rings_[ev.participant];
   if (ring.slots.empty()) {
     ring.slots.resize(static_cast<std::size_t>(capacity_));
@@ -85,7 +85,7 @@ void FlightRecorder::dump(const std::string& path,
 
 void FlightRecorder::dump_stream(std::FILE* out,
                                  const std::string& reason) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& [p, ring] : rings_) {
     (void)p;
@@ -115,12 +115,12 @@ void FlightRecorder::dump_stream(std::FILE* out,
 }
 
 std::size_t FlightRecorder::num_dumps() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return dumps_;
 }
 
 std::vector<LifecycleEvent> FlightRecorder::events_for(int participant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   std::vector<LifecycleEvent> out;
   const auto it = rings_.find(participant);
   if (it == rings_.end()) return out;

@@ -20,10 +20,10 @@
 
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/trace_ctx.h"
 
 namespace fms::obs {
@@ -55,10 +55,11 @@ class FlightRecorder {
     std::size_t count = 0;  // filled slots (<= capacity)
   };
 
-  mutable std::mutex mu_;
-  int capacity_;
-  std::map<int, Ring> rings_;  // participant (-1 = server) -> ring
-  mutable std::size_t dumps_ = 0;
+  mutable fms::Mutex mu_;
+  int capacity_;  // const after construction
+  // participant (-1 = server) -> ring
+  std::map<int, Ring> rings_ FMS_GUARDED_BY(mu_);
+  mutable std::size_t dumps_ FMS_GUARDED_BY(mu_) = 0;
 };
 
 // Installs process-wide abnormal-exit hooks (idempotent):

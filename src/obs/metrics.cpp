@@ -69,14 +69,14 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -84,7 +84,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
     if (bounds.empty()) bounds = default_time_buckets();
@@ -95,13 +95,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
@@ -150,7 +150,7 @@ void MetricsRegistry::write_csv(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -17,11 +17,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/thread_annotations.h"
 
 namespace fms::obs {
 
@@ -221,10 +221,12 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable fms::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FMS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FMS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FMS_GUARDED_BY(mu_);
 };
 
 }  // namespace fms::obs

@@ -6,8 +6,9 @@
 #include <ctime>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "src/common/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -64,9 +65,10 @@ struct Frame {
 // the owning thread enters/exits zones); collect/reset from another
 // thread take it briefly.
 struct ThreadProfile {
-  std::mutex mu;
-  std::vector<Node> nodes;  // nodes[0] is the root sentinel
-  std::vector<Frame> stack;
+  fms::Mutex mu;
+  // nodes[0] is the root sentinel.
+  std::vector<Node> nodes FMS_GUARDED_BY(mu);
+  std::vector<Frame> stack FMS_GUARDED_BY(mu);
 
   ThreadProfile() {
     Node root;
@@ -77,10 +79,10 @@ struct ThreadProfile {
 };
 
 struct ProfileRegistry {
-  std::mutex mu;
+  fms::Mutex mu;
   // Owned here, never erased: a worker thread may exit while its data is
   // still wanted for the round report.
-  std::vector<std::unique_ptr<ThreadProfile>> profiles;
+  std::vector<std::unique_ptr<ThreadProfile>> profiles FMS_GUARDED_BY(mu);
 };
 
 ProfileRegistry& profile_registry() {
@@ -94,14 +96,15 @@ ThreadProfile& thread_profile() {
     auto owned = std::make_unique<ThreadProfile>();
     ThreadProfile* raw = owned.get();
     ProfileRegistry& reg = profile_registry();
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const fms::MutexLock lock(reg.mu);
     reg.profiles.push_back(std::move(owned));
     return raw;
   }();
   return *tp;
 }
 
-int child_index(ThreadProfile& tp, int parent, const char* name) {
+int child_index(ThreadProfile& tp, int parent, const char* name)
+    FMS_REQUIRES(tp.mu) {
   for (const auto& [child_name, child_idx] : tp.nodes[parent].children) {
     if (child_name == name || std::strcmp(child_name, name) == 0) {
       return child_idx;
@@ -128,7 +131,8 @@ struct MergedNode {
   std::map<std::string, MergedNode> children;
 };
 
-void merge_thread_tree(const ThreadProfile& tp, int idx, MergedNode* into) {
+void merge_thread_tree(const ThreadProfile& tp, int idx, MergedNode* into)
+    FMS_REQUIRES(tp.mu) {
   const Node& node = tp.nodes[static_cast<std::size_t>(idx)];
   into->calls += node.calls;
   into->incl_ns += node.incl_ns;
@@ -186,7 +190,7 @@ namespace detail {
 
 void zone_enter(const char* name) {
   ThreadProfile& tp = thread_profile();
-  const std::lock_guard<std::mutex> lock(tp.mu);
+  const fms::MutexLock lock(tp.mu);
   const int parent = tp.stack.empty() ? 0 : tp.stack.back().node;
   const int idx = child_index(tp, parent, name);
   tp.nodes[static_cast<std::size_t>(idx)].calls += 1;
@@ -198,7 +202,7 @@ void zone_exit() {
   // Clock read first, symmetric with zone_enter.
   const std::uint64_t now = thread_cpu_ns();
   ThreadProfile& tp = thread_profile();
-  const std::lock_guard<std::mutex> lock(tp.mu);
+  const fms::MutexLock lock(tp.mu);
   if (tp.stack.empty()) return;  // reset_profiler raced an exit; drop it
   const Frame frame = tp.stack.back();
   tp.stack.pop_back();
@@ -210,7 +214,7 @@ void zone_exit() {
 
 void zone_add_bytes(std::uint64_t bytes) {
   ThreadProfile& tp = thread_profile();
-  const std::lock_guard<std::mutex> lock(tp.mu);
+  const fms::MutexLock lock(tp.mu);
   const int idx = tp.stack.empty() ? 0 : tp.stack.back().node;
   tp.nodes[static_cast<std::size_t>(idx)].bytes += bytes;
 }
@@ -220,7 +224,7 @@ void zone_add_bytes(std::uint64_t bytes) {
 void profile_note_alloc(std::size_t bytes) {
   if (!profiling_enabled()) return;
   ThreadProfile& tp = thread_profile();
-  const std::lock_guard<std::mutex> lock(tp.mu);
+  const fms::MutexLock lock(tp.mu);
   const int idx = tp.stack.empty() ? 0 : tp.stack.back().node;
   Node& node = tp.nodes[static_cast<std::size_t>(idx)];
   node.alloc_bytes += bytes;
@@ -233,9 +237,9 @@ void set_profiling_enabled(bool on) {
 
 void reset_profiler() {
   ProfileRegistry& reg = profile_registry();
-  const std::lock_guard<std::mutex> reg_lock(reg.mu);
+  const fms::MutexLock reg_lock(reg.mu);
   for (auto& tp : reg.profiles) {
-    const std::lock_guard<std::mutex> lock(tp->mu);
+    const fms::MutexLock lock(tp->mu);
     for (Node& node : tp->nodes) {
       node.calls = 0;
       node.incl_ns = 0;
@@ -258,9 +262,9 @@ ProfileReport collect_profile() {
   MergedNode root;
   {
     ProfileRegistry& reg = profile_registry();
-    const std::lock_guard<std::mutex> reg_lock(reg.mu);
+    const fms::MutexLock reg_lock(reg.mu);
     for (auto& tp : reg.profiles) {
-      const std::lock_guard<std::mutex> lock(tp->mu);
+      const fms::MutexLock lock(tp->mu);
       merge_thread_tree(*tp, 0, &root);
     }
   }

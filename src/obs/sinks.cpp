@@ -75,18 +75,18 @@ void JsonlTraceWriter::write(const TraceEvent& event) {
     append_number(line, value);
   }
   line += "}\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   out_ << line;
   ++events_;
 }
 
 void JsonlTraceWriter::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   out_.flush();
 }
 
 std::size_t JsonlTraceWriter::events_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return events_;
 }
 

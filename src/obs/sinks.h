@@ -10,10 +10,11 @@
 
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace fms::obs {
 
@@ -54,9 +55,9 @@ class JsonlTraceWriter : public TraceSink {
   std::size_t events_written() const;
 
  private:
-  mutable std::mutex mu_;
-  std::ofstream out_;
-  std::size_t events_ = 0;
+  mutable fms::Mutex mu_;
+  std::ofstream out_ FMS_GUARDED_BY(mu_);
+  std::size_t events_ FMS_GUARDED_BY(mu_) = 0;
 };
 
 // Per-round progress one-liner (the examples' former on_round lambdas):

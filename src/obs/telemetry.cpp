@@ -13,34 +13,34 @@ Telemetry& Telemetry::instance() {
 }
 
 void Telemetry::add_sink(std::shared_ptr<TraceSink> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   sinks_.push_back(std::move(sink));
 }
 
 void Telemetry::clear_sinks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   sinks_.clear();
 }
 
 std::size_t Telemetry::num_sinks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return sinks_.size();
 }
 
 void Telemetry::emit(TraceEvent event) {
   if (!telemetry_enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   if (event.label.empty()) event.label = label_;
   for (const auto& sink : sinks_) sink->write(event);
 }
 
 void Telemetry::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   for (const auto& sink : sinks_) sink->flush();
 }
 
 void Telemetry::set_label(std::string label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   label_ = std::move(label);
 }
 
@@ -62,7 +62,7 @@ void Telemetry::configure(const TelemetryConfig& cfg, std::uint64_t seed) {
                                      cfg.enabled ? cfg.flight_recorder : 0,
                                      flight_dump);
   if (cfg.enabled) install_crash_handlers();
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   sinks_.clear();
   metrics_csv_path_ = cfg.metrics_csv_path;
   if (!cfg.enabled) return;
@@ -77,7 +77,7 @@ void Telemetry::configure(const TelemetryConfig& cfg, std::uint64_t seed) {
 void Telemetry::finish() {
   std::string csv_path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fms::MutexLock lock(mu_);
     for (const auto& sink : sinks_) {
       sink->write_summary(registry_);
       sink->flush();

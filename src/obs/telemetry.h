@@ -12,11 +12,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/config.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sinks.h"
 
@@ -59,11 +59,11 @@ class Telemetry {
  private:
   Telemetry() = default;
 
-  MetricsRegistry registry_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<TraceSink>> sinks_;
-  std::string label_;
-  std::string metrics_csv_path_;
+  MetricsRegistry registry_;  // self-locking
+  mutable fms::Mutex mu_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_ FMS_GUARDED_BY(mu_);
+  std::string label_ FMS_GUARDED_BY(mu_);
+  std::string metrics_csv_path_ FMS_GUARDED_BY(mu_);
   std::atomic<int> round_{-1};
 };
 

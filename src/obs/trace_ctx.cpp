@@ -86,7 +86,7 @@ void TraceContext::configure(bool enabled, std::uint64_t seed,
                              std::string chrome_path, int flight_capacity,
                              std::string flight_dump_path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fms::MutexLock lock(mu_);
     seed_ = seed;
     chrome_path_ = std::move(chrome_path);
     flight_dump_path_ = std::move(flight_dump_path);
@@ -105,7 +105,7 @@ void TraceContext::begin_round(int round) {
 }
 
 void TraceContext::end_round(double round_sim_duration_s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   // A round in which nothing moved (everyone offline) still occupies a
   // nonzero window so successive rounds never collapse onto one tick.
   base_s_ += std::isfinite(round_sim_duration_s) && round_sim_duration_s > 0.0
@@ -114,7 +114,7 @@ void TraceContext::end_round(double round_sim_duration_s) {
 }
 
 double TraceContext::round_base_s() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return base_s_;
 }
 
@@ -130,7 +130,7 @@ void TraceContext::record(int participant, Stage stage, double offset_s,
   ev.dur_s = dur_s;
   ev.value = value;
   ev.detail = std::move(detail);
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   ev.ts_s = base_s_ + (std::isfinite(offset_s) ? offset_s : 0.0);
   ev.trace_id = make_trace_id(seed_, ev.origin_round);
   ev.span_id = make_span_id(ev.trace_id, participant, stage);
@@ -142,7 +142,7 @@ void TraceContext::export_chrome() const {
   std::string path;
   std::vector<LifecycleEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fms::MutexLock lock(mu_);
     if (chrome_path_.empty() || events_.empty()) return;
     path = chrome_path_;
     events = events_;
@@ -152,8 +152,18 @@ void TraceContext::export_chrome() const {
   out << chrome_trace_json(events);
 }
 
+std::string TraceContext::chrome_path() const {
+  fms::MutexLock lock(mu_);
+  return chrome_path_;
+}
+
+std::string TraceContext::flight_dump_path() const {
+  fms::MutexLock lock(mu_);
+  return flight_dump_path_;
+}
+
 std::shared_ptr<FlightRecorder> TraceContext::flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return flight_;
 }
 
@@ -161,7 +171,7 @@ void TraceContext::dump_flight(const std::string& reason) const {
   std::shared_ptr<FlightRecorder> fl;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fms::MutexLock lock(mu_);
     fl = flight_;
     path = flight_dump_path_;
   }
@@ -169,17 +179,17 @@ void TraceContext::dump_flight(const std::string& reason) const {
 }
 
 std::size_t TraceContext::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<LifecycleEvent> TraceContext::events_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   return events_;
 }
 
 void TraceContext::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fms::MutexLock lock(mu_);
   events_.clear();
   flight_.reset();
   chrome_path_.clear();

@@ -28,9 +28,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace fms::obs {
 
@@ -120,10 +121,10 @@ class TraceContext {
   // Telemetry::finish(); path comes from configure. No-op when no path
   // was configured or nothing was recorded.
   void export_chrome() const;
-  const std::string& chrome_path() const { return chrome_path_; }
+  std::string chrome_path() const;
 
   std::shared_ptr<FlightRecorder> flight() const;
-  const std::string& flight_dump_path() const { return flight_dump_path_; }
+  std::string flight_dump_path() const;
   // Dumps the flight recorder (if attached) with the given reason tag.
   void dump_flight(const std::string& reason) const;
 
@@ -137,14 +138,14 @@ class TraceContext {
  private:
   TraceContext() = default;
 
-  mutable std::mutex mu_;
-  std::vector<LifecycleEvent> events_;
-  std::shared_ptr<FlightRecorder> flight_;
-  std::string chrome_path_;
-  std::string flight_dump_path_;
-  std::uint64_t seed_ = 0;
+  mutable fms::Mutex mu_;
+  std::vector<LifecycleEvent> events_ FMS_GUARDED_BY(mu_);
+  std::shared_ptr<FlightRecorder> flight_ FMS_GUARDED_BY(mu_);
+  std::string chrome_path_ FMS_GUARDED_BY(mu_);
+  std::string flight_dump_path_ FMS_GUARDED_BY(mu_);
+  std::uint64_t seed_ FMS_GUARDED_BY(mu_) = 0;
   std::atomic<int> round_{-1};
-  double base_s_ = 0.0;
+  double base_s_ FMS_GUARDED_BY(mu_) = 0.0;
 };
 
 // Serializes lifecycle events as a Chrome trace-event JSON document

@@ -1,0 +1,22 @@
+// Known-bad: write/read op sequences diverge in kind and in count.
+#include "bytes.h"
+
+void Foo::serialize(ByteWriter& w) const {
+  w.write(magic_);
+  w.write_vector(data_);
+  w.write_string(name_);
+}
+
+void Foo::deserialize(ByteReader& r) {
+  magic_ = r.read<int>();
+  name_ = r.read_string();
+}
+
+void Bar::checkpoint(ByteWriter& w) const {
+  w.write(a_);
+  w.write(b_);
+}
+
+void Bar::restore(ByteReader& r) {
+  a_ = r.read<int>();
+}

@@ -1,0 +1,12 @@
+// Known-bad: an undocumented metric key and an undocumented detector.
+#include "obs.h"
+
+void emit(Registry& reg) {
+  reg.counter("fms.good.count").add(1);
+  reg.counter("fms.bad.count").add(1);
+}
+
+const char* kDetectorNames[] = {
+    "alpha",
+    "beta",
+};

@@ -1,0 +1,5 @@
+// Known-bad: two decision streams share a salt value.
+#include <cstdint>
+
+constexpr std::uint64_t kSaltAlpha = 0x10;
+constexpr std::uint64_t kSaltBeta = 0x10;

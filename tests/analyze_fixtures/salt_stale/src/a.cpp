@@ -1,0 +1,4 @@
+// The only surviving salt; the registry still lists a deleted one.
+#include <cstdint>
+
+constexpr std::uint64_t kSaltKept = 0x01;

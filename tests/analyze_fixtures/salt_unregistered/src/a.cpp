@@ -1,0 +1,5 @@
+// Known-bad: a new stream without a registry row, and a value drift.
+#include <cstdint>
+
+constexpr std::uint64_t kSaltNew = 0x42;
+constexpr std::uint64_t kSaltOld = 0x08;

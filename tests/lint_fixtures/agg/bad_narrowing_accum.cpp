@@ -1,0 +1,24 @@
+// Known-bad: per-element narrowing inside accumulation loops.
+#include <vector>
+
+float narrow_cast_accum(const std::vector<double>& v) {
+  float acc = 0.0F;
+  for (double x : v) {
+    acc += static_cast<float>(x * x);
+  }
+  return acc;
+}
+
+float widened_then_rounded(const std::vector<float>& v) {
+  float acc2 = 0.0F;
+  for (float x : v) acc2 += static_cast<double>(x) * x;
+  return acc2;
+}
+
+int int_accum_of_floats(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += 0.5;
+  }
+  return total;
+}

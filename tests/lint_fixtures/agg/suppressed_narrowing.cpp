@@ -1,0 +1,20 @@
+// Suppression coverage for narrowing-accum in both annotation forms.
+#include <vector>
+
+float quantized_accum(const std::vector<double>& v) {
+  float acc = 0.0F;
+  for (double x : v) {
+    // fms-lint: allow(narrowing-accum) -- quantized kernel matches the
+    // fp32 reference bit-for-bit by construction
+    acc += static_cast<float>(x);
+  }
+  return acc;
+}
+
+int same_line_form(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0;  // fms-lint: allow(narrowing-accum) -- intentional floor
+  }
+  return total;
+}

@@ -78,10 +78,59 @@ TEST(FmsLint, BareThrowFiresAtExactLine) {
             (RL{{"bare-throw", 6}}));
 }
 
+TEST(FmsLint, NarrowingAccumFiresAtExactLines) {
+  EXPECT_EQ(rule_lines(lint_file(fixture("agg/bad_narrowing_accum.cpp"))),
+            (RL{{"narrowing-accum", 7},
+                {"narrowing-accum", 14},
+                {"narrowing-accum", 21}}));
+}
+
+TEST(FmsLint, NarrowingAccumIsPathScoped) {
+  // The same narrowing accumulation outside src/agg / src/tensor is not
+  // a hot reduction kernel and stays legal.
+  const std::string src =
+      "float f(const std::vector<double>& v) {\n"
+      "  float acc = 0.0F;\n"
+      "  for (double x : v) acc += static_cast<float>(x);\n"
+      "  return acc;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/nn/layers.cpp", src).empty());
+  EXPECT_EQ(lint_source("src/agg/robust.cpp", src).size(), 1U);
+  EXPECT_EQ(lint_source("src/tensor/ops.cpp", src).size(), 1U);
+}
+
+TEST(FmsLint, NarrowingOutsideLoopIsLegal) {
+  // Narrowing once after the loop is exactly the recommended pattern.
+  const std::string src =
+      "float f(const std::vector<double>& v) {\n"
+      "  double acc = 0.0;\n"
+      "  for (double x : v) acc += x;\n"
+      "  float out = 0.0F;\n"
+      "  out += static_cast<float>(acc);\n"
+      "  return out;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/agg/robust.cpp", src).empty());
+}
+
+TEST(FmsLint, WideAccumulationInLoopIsLegal) {
+  // The idioms the hot paths already use: a double accumulator fed
+  // widened elements, and a float accumulator fed plain float products.
+  const std::string src =
+      "double g(const std::vector<float>& v) {\n"
+      "  double sq = 0.0;\n"
+      "  for (const float x : v) sq += static_cast<double>(x) * x;\n"
+      "  float acc = 0.0F;\n"
+      "  for (const float x : v) acc += x * x;\n"
+      "  return sq + acc;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/agg/robust.cpp", src).empty());
+}
+
 TEST(FmsLint, SuppressionsSilenceEveryRule) {
   EXPECT_TRUE(lint_file(fixture("suppressed.cpp")).empty());
   EXPECT_TRUE(lint_file(fixture("suppressed.h")).empty());
   EXPECT_TRUE(lint_file(fixture("core/suppressed_unordered.cpp")).empty());
+  EXPECT_TRUE(lint_file(fixture("agg/suppressed_narrowing.cpp")).empty());
 }
 
 TEST(FmsLint, WallClockExemptionIsNarrow) {
@@ -177,7 +226,8 @@ TEST(FmsLint, RuleListIsStable) {
   for (const auto& r : fms::lint::rules()) ids.emplace_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{
                      "unseeded-rng", "wall-clock", "unordered-container",
-                     "float-eq", "pragma-once", "bare-throw"}));
+                     "float-eq", "pragma-once", "bare-throw",
+                     "narrowing-accum"}));
 }
 
 }  // namespace

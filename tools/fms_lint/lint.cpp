@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -21,6 +22,7 @@ constexpr const char* kRuleUnordered = "unordered-container";
 constexpr const char* kRuleFloatEq = "float-eq";
 constexpr const char* kRulePragmaOnce = "pragma-once";
 constexpr const char* kRuleBareThrow = "bare-throw";
+constexpr const char* kRuleNarrowingAccum = "narrowing-accum";
 
 bool is_ident_char(char c) {
   return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
@@ -262,6 +264,60 @@ void add(std::vector<Finding>* out, const std::string& path, int line,
   out->push_back(Finding{path, line, rule, message});
 }
 
+// Accumulation-loop context for narrowing-accum: src/agg and src/tensor
+// hold the hot reduction kernels whose per-element precision the
+// aggregation bounds depend on.
+bool accumulation_hot_path(const std::string& path) {
+  return path.find("/agg/") != std::string::npos ||
+         path.find("/tensor/") != std::string::npos;
+}
+
+bool rhs_has_floating_literal(const std::string& rhs) {
+  static const std::regex float_lit(
+      R"((?:^|[^A-Za-z0-9_.])(?:[0-9]+\.[0-9]*|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)");
+  return std::regex_search(rhs, float_lit);
+}
+
+// True when `code` contains a +=/-= whose value is narrowed per element:
+// an explicit static_cast<float>/static_cast<int> on the RHS, a float
+// accumulator fed a static_cast<double> expression (the widened product
+// is rounded back every iteration), or an int accumulator fed a floating
+// literal. `decl_type` maps identifiers to their textually declared type
+// within this file.
+bool narrowing_accumulation(const std::string& code,
+                            const std::map<std::string, std::string>& decl_type) {
+  for (const char* op : {"+=", "-="}) {
+    std::size_t pos = code.find(op);
+    while (pos != std::string::npos) {
+      std::size_t e = pos;
+      while (e > 0 &&
+             std::isspace(static_cast<unsigned char>(code[e - 1])) != 0) {
+        --e;
+      }
+      std::size_t b = e;
+      while (b > 0 && is_ident_char(code[b - 1])) --b;
+      const std::string lhs = code.substr(b, e - b);
+      const std::string rhs = code.substr(pos + 2);
+      if (rhs.find("static_cast<float>(") != std::string::npos ||
+          rhs.find("static_cast<int>(") != std::string::npos) {
+        return true;
+      }
+      const auto it = decl_type.find(lhs);
+      if (it != decl_type.end()) {
+        if (it->second == "float" &&
+            rhs.find("static_cast<double>(") != std::string::npos) {
+          return true;
+        }
+        if (it->second == "int" && rhs_has_floating_literal(rhs)) {
+          return true;
+        }
+      }
+      pos = code.find(op, pos + 2);
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -281,6 +337,9 @@ const std::vector<RuleInfo>& rules() {
       {kRuleBareThrow,
        "throw std::runtime_error/logic_error (use FMS_CHECK / "
        "fms::CheckError)"},
+      {kRuleNarrowingAccum,
+       "float/int narrowing inside an accumulation loop in src/agg or "
+       "src/tensor (accumulate wide, narrow once outside the loop)"},
   };
   return kRules;
 }
@@ -295,9 +354,25 @@ std::vector<Finding> lint_source(const std::string& path,
   const bool clock_sanctioned = path_ends_with(p, "src/common/stopwatch.h");
   const bool check_sanctioned = path_ends_with(p, "src/common/check.h");
   const bool unordered_applies = ordering_sensitive(p);
+  const bool narrowing_applies = accumulation_hot_path(p);
 
   const std::vector<ScannedLine> lines = scan(contents);
   std::vector<Finding> out;
+
+  // Textual declaration map for narrowing-accum: the declared type of
+  // every `float x = ...` / `int x = ...` style local in the file.
+  std::map<std::string, std::string> decl_type;
+  if (narrowing_applies) {
+    static const std::regex decl_re(
+        R"((?:^|[^A-Za-z0-9_:<])(float|double|int)\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:=|\{|;))");
+    for (const ScannedLine& ln : lines) {
+      auto it = std::sregex_iterator(ln.code.begin(), ln.code.end(), decl_re);
+      const auto end = std::sregex_iterator();
+      for (; it != end; ++it) {
+        decl_type.emplace((*it)[2].str(), (*it)[1].str());
+      }
+    }
+  }
 
   bool saw_pragma_once = false;
   bool pragma_once_allowed = false;
@@ -325,6 +400,14 @@ std::vector<Finding> lint_source(const std::string& path,
       }
     }
   }
+
+  // Loop-body tracking for narrowing-accum: a stack of the brace depths
+  // at which for/while bodies opened, plus a pending flag between a loop
+  // header and its '{' (or its single-statement body).
+  int brace_depth = 0;
+  int paren_depth = 0;
+  bool loop_pending = false;
+  std::vector<int> loop_open_depth;
 
   for (std::size_t idx = 0; idx < lines.size(); ++idx) {
     const ScannedLine& ln = lines[idx];
@@ -388,6 +471,42 @@ std::vector<Finding> lint_source(const std::string& path,
             "throw fms::CheckError so tests and callers can match on it");
       }
     }
+    if (narrowing_applies) {
+      const bool opens_loop = has_token(code, "for", /*call_form=*/true) ||
+                              has_token(code, "while", /*call_form=*/true);
+      const bool in_loop =
+          !loop_open_depth.empty() || loop_pending || opens_loop;
+      if (in_loop && !allowed(kRuleNarrowingAccum) &&
+          narrowing_accumulation(code, decl_type)) {
+        add(&out, p, lineno, kRuleNarrowingAccum,
+            "float/int narrowing inside an accumulation loop: accumulate "
+            "in double (or keep the element type wide) and narrow once "
+            "after the loop");
+      }
+      if (opens_loop) loop_pending = true;
+      for (const char ch : code) {
+        if (ch == '(') {
+          ++paren_depth;
+        } else if (ch == ')') {
+          if (paren_depth > 0) --paren_depth;
+        } else if (ch == '{') {
+          ++brace_depth;
+          if (loop_pending) {
+            loop_open_depth.push_back(brace_depth);
+            loop_pending = false;
+          }
+        } else if (ch == '}') {
+          if (!loop_open_depth.empty() &&
+              loop_open_depth.back() == brace_depth) {
+            loop_open_depth.pop_back();
+          }
+          if (brace_depth > 0) --brace_depth;
+        } else if (ch == ';' && paren_depth == 0) {
+          // End of a braceless single-statement loop body.
+          loop_pending = false;
+        }
+      }
+    }
   }
 
   if (is_header && !saw_pragma_once && !pragma_once_allowed) {
@@ -409,8 +528,8 @@ std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
   auto skip = [](const fs::path& p) {
     for (const auto& part : p) {
       const std::string s = part.string();
-      if (s == "lint_fixtures" || s == ".git" || s == "build" ||
-          s.rfind("build-", 0) == 0) {
+      if (s == "lint_fixtures" || s == "analyze_fixtures" || s == ".git" ||
+          s == "build" || s.rfind("build-", 0) == 0) {
         return true;
       }
     }

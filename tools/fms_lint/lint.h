@@ -38,6 +38,14 @@ namespace fms::lint {
 //   pragma-once          header missing #pragma once.
 //   bare-throw           throw std::runtime_error / std::logic_error where
 //                        FMS_CHECK / fms::CheckError is the convention.
+//   narrowing-accum      float/int narrowing inside an accumulation loop in
+//                        src/agg or src/tensor hot paths (+=/-= whose RHS
+//                        narrows via static_cast<float>/static_cast<int>,
+//                        a float accumulator fed a static_cast<double>
+//                        expression, or an int accumulator fed a floating
+//                        literal) — narrowing per-element inside the loop
+//                        loses precision the paper's aggregation bounds
+//                        assume; accumulate wide and narrow once outside.
 struct RuleInfo {
   const char* id;
   const char* summary;
