@@ -35,7 +35,8 @@ const char* kUsage =
     "                      [--progress-every N] [--profile]\n"
     "                      [--fault-plan SPEC|severe] [--quorum Q]\n"
     "                      [--timeout SECONDS] [--checkpoint-every N]\n"
-    "                      [--resume PATH] [--aggregator NAME[:F]]\n"
+    "                      [--resume PATH] [--journal PATH] [--recover]\n"
+    "                      [--aggregator NAME[:F]]\n"
     "                      [--winsorize-rewards K] [--baseline-mode MODE]\n"
     "                      [--adaptive-screen K] [--churn-plan SPEC]\n"
     "                      [--adaptive-timeout] [--max-degrade-mode N]\n"
@@ -50,6 +51,17 @@ const char* kUsage =
     "  --timeout SECONDS     per-round commit deadline cap (0 = none)\n"
     "  --checkpoint-every N  auto-checkpoint cadence; requires --checkpoint\n"
     "  --resume PATH         restore a checkpoint and continue the search\n"
+    "\n"
+    "durability flags:\n"
+    "  --journal PATH        write-ahead round journal: one CRC-framed\n"
+    "                        frame per committed round; makes any kill\n"
+    "                        point recoverable (disk fault-plan keys:\n"
+    "                        disk_eio, disk_short, disk_corrupt,\n"
+    "                        disk_corrupt_bits)\n"
+    "  --recover             kill-anywhere recovery: load the newest valid\n"
+    "                        checkpoint (.prev fallback), truncate a torn\n"
+    "                        journal tail, replay journaled rounds, then\n"
+    "                        continue; requires --journal and --checkpoint\n"
     "\n"
     "observability flags:\n"
     "  --profile             enable the in-process profiler + allocation\n"
@@ -117,6 +129,8 @@ int main(int argc, char** argv) {
   double timeout_s = 0.0;
   int checkpoint_every = 0;
   std::string resume_path;
+  std::string journal_path;
+  bool recover = false;
   std::string aggregator_spec;
   double winsorize_k = 0.0;
   std::string baseline_mode = "mean";
@@ -196,6 +210,12 @@ int main(int argc, char** argv) {
       checkpoint_every = std::atoi(need_value("--checkpoint-every"));
     } else if (!std::strcmp(argv[i], "--resume")) {
       resume_path = need_value("--resume");
+    } else if (!std::strcmp(argv[i], "--journal")) {
+      journal_path = need_value("--journal");
+    } else if (const char* v7 = eq_value("--journal")) {
+      journal_path = v7;
+    } else if (!std::strcmp(argv[i], "--recover")) {
+      recover = true;
     } else if (!std::strcmp(argv[i], "--aggregator")) {
       aggregator_spec = need_value("--aggregator");
     } else if (!std::strcmp(argv[i], "--winsorize-rewards")) {
@@ -232,6 +252,12 @@ int main(int argc, char** argv) {
   }
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
     std::fprintf(stderr, "--checkpoint-every requires --checkpoint PATH\n%s",
+                 kUsage);
+    return 2;
+  }
+  if (recover && (journal_path.empty() || checkpoint_path.empty())) {
+    std::fprintf(stderr,
+                 "--recover requires --journal PATH and --checkpoint PATH\n%s",
                  kUsage);
     return 2;
   }
@@ -323,7 +349,31 @@ int main(int argc, char** argv) {
   if (checkpoint_every > 0) opts.checkpoint_path = checkpoint_path;
 
   FederatedSearch search(cfg, data.train, partition);
-  if (!resume_path.empty()) {
+  FederatedSearch::RecoveryReport rrep;
+  if (recover) {
+    FederatedSearch::RecoverConfig rc;
+    rc.checkpoint_path = checkpoint_path;
+    rc.journal_path = journal_path;
+    rc.warmup_rounds = warmup;
+    rc.search = opts;
+    rrep = search.recover(rc);
+    // Credit completed rounds (checkpointed + replayed) against the
+    // warm-up first, then the search — same arithmetic as --resume.
+    const int done = rrep.start_round + rrep.replayed_rounds;
+    const int warmup_left = std::max(0, warmup - done);
+    const int search_left =
+        std::max(0, warmup + rounds - std::max(done, warmup));
+    std::printf(
+        "recovered: checkpoint %s at round %d%s, replayed %d rounds "
+        "(%llu frames, %zu torn bytes truncated) in %.1f ms\n",
+        rrep.checkpoint_loaded ? "loaded" : "absent", rrep.start_round,
+        rrep.used_prev_checkpoint ? " (.prev fallback)" : "",
+        rrep.replayed_rounds,
+        static_cast<unsigned long long>(rrep.frames_loaded), rrep.torn_bytes,
+        rrep.recovery_ms);
+    warmup = warmup_left;
+    rounds = search_left;
+  } else if (!resume_path.empty()) {
     const SearchCheckpoint ckpt = read_checkpoint_file(resume_path);
     search.restore(ckpt);
     // Credit completed rounds against the warm-up first, then the search.
@@ -335,6 +385,9 @@ int main(int argc, char** argv) {
                 ckpt.has_runtime_state() ? "with" : "without");
     warmup = warmup_left;
     rounds = search_left;
+  }
+  if (!journal_path.empty() && !recover) {
+    search.enable_journal(journal_path, opts.fault_plan);
   }
   std::printf("warm-up: %d rounds, search: %d rounds, K=%d, %s, "
               "staleness=%s/%s\n",
@@ -395,6 +448,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rs.trimmed_values),
         static_cast<unsigned long long>(rs.rejected_updates),
         static_cast<unsigned long long>(rs.winsorized_rewards));
+  }
+
+  // Durability summary: the journal's write ledger, plus what recovery
+  // had to do when --recover ran.
+  if (search.journal() != nullptr) {
+    const JournalStats& js = search.journal()->stats();
+    std::printf(
+        "journal: %llu frames written, %llu rotations, %llu eio retries, "
+        "%llu short writes (%s)\n",
+        static_cast<unsigned long long>(js.frames_written),
+        static_cast<unsigned long long>(js.rotations),
+        static_cast<unsigned long long>(js.eio_retries),
+        static_cast<unsigned long long>(js.short_writes),
+        search.journal()->path().c_str());
+    if (recover) {
+      std::printf(
+          "recovery: resumed at round %d, replayed %d rounds, %zu torn "
+          "bytes truncated, %.1f ms\n",
+          rrep.start_round, rrep.replayed_rounds, rrep.torn_bytes,
+          rrep.recovery_ms);
+    }
   }
 
   // Search-health summary: per-detector state, windowed value, thresholds.

@@ -5,6 +5,7 @@
 // actually serialized and its size measured rather than estimated.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -68,8 +69,11 @@ class ByteReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     auto n = read<std::uint64_t>();
+    // Divide instead of multiplying: a corrupted length field must fail
+    // the bounds check, not wrap the multiplication and pass it.
+    FMS_CHECK_MSG(n <= (buf_.size() - pos_) / sizeof(T),
+                  "ByteReader underflow");
     FMS_PROFILE_BYTES(n * sizeof(T));
-    FMS_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "ByteReader underflow");
     std::vector<T> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
@@ -95,6 +99,70 @@ class ByteReader {
 
 inline double bytes_to_mb(std::size_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// --- CRC32 framing (durability path: journal frames, checkpoint trailer) ---
+//
+// Standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), computed over a
+// byte span. The table is built once per process; the function is pure.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+// Length-prefixed CRC frame: [u32 payload length][u32 crc32(payload)][payload].
+// The fixed 8-byte prologue lets a tolerant reader detect a torn tail (short
+// prologue, short payload, or CRC mismatch) and truncate exactly there.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+inline void append_crc_frame(std::vector<std::uint8_t>& out,
+                             const std::vector<std::uint8_t>& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  const auto* lp = reinterpret_cast<const std::uint8_t*>(&len);
+  const auto* cp = reinterpret_cast<const std::uint8_t*>(&crc);
+  out.insert(out.end(), lp, lp + sizeof(len));
+  out.insert(out.end(), cp, cp + sizeof(crc));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+// Tolerant frame extraction: reads the frame starting at `pos` in `buf`.
+// On success advances `pos` past the frame and fills `payload`; returns
+// false (leaving `pos` untouched) when the remaining bytes do not form a
+// complete, CRC-valid frame — the torn-tail signal.
+inline bool next_crc_frame(const std::vector<std::uint8_t>& buf,
+                           std::size_t& pos,
+                           std::vector<std::uint8_t>* payload) {
+  if (buf.size() - pos < kFrameHeaderBytes) return false;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, buf.data() + pos, sizeof(len));
+  std::memcpy(&crc, buf.data() + pos + sizeof(len), sizeof(crc));
+  if (len > buf.size() - pos - kFrameHeaderBytes) return false;
+  const std::uint8_t* body = buf.data() + pos + kFrameHeaderBytes;
+  if (crc32(body, len) != crc) return false;
+  payload->assign(body, body + len);
+  pos += kFrameHeaderBytes + len;
+  return true;
 }
 
 }  // namespace fms

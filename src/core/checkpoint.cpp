@@ -1,6 +1,10 @@
 #include "src/core/checkpoint.h"
 
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "src/common/serialize.h"
 #include "src/obs/profile.h"
@@ -10,6 +14,13 @@ namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x464d5343;  // "FMSC"
 constexpr std::uint32_t kGenotypeMagic = 0x464d5347;    // "FMSG"
+// File-layer CRC trailer appended to every durable file:
+//   [u32 kTrailerMagic][u32 crc32(payload)]
+// Kept at the file layer (not inside the serialized payload) so the
+// checkpoint byte format — and kCheckpointVersion — stay unchanged, and
+// legacy trailer-less files still load (the reader sniffs the magic).
+constexpr std::uint32_t kTrailerMagic = 0x43524331;  // "CRC1"
+constexpr std::size_t kTrailerBytes = 2 * sizeof(std::uint32_t);
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
@@ -18,12 +29,82 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
                                    std::istreambuf_iterator<char>());
 }
 
-void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
-  std::ofstream f(path, std::ios::binary);
-  FMS_CHECK_MSG(f.good(), "cannot open " << path);
-  f.write(reinterpret_cast<const char*>(b.data()),
-          static_cast<std::streamsize>(b.size()));
-  FMS_CHECK_MSG(f.good(), "write failed for " << path);
+// Reads a durable file and verifies + strips its CRC trailer when one is
+// present. Throws CheckError on CRC mismatch — the signal that flips the
+// caller onto the `.prev` generation.
+std::vector<std::uint8_t> read_durable_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes = read_file(path);
+  if (bytes.size() < kTrailerBytes) return bytes;
+  std::uint32_t magic = 0;
+  std::uint32_t crc = 0;
+  const std::uint8_t* tail = bytes.data() + bytes.size() - kTrailerBytes;
+  std::memcpy(&magic, tail, sizeof(magic));
+  std::memcpy(&crc, tail + sizeof(magic), sizeof(crc));
+  if (magic != kTrailerMagic) return bytes;  // legacy trailer-less file
+  const std::size_t payload = bytes.size() - kTrailerBytes;
+  FMS_CHECK_MSG(crc32(bytes.data(), payload) == crc,
+                "CRC trailer mismatch in " << path);
+  bytes.resize(payload);
+  return bytes;
+}
+
+// Crash-atomic durable write: payload + CRC trailer to `<path>.tmp`,
+// flush, rename primary -> `<path>.prev`, rename tmp into place. The
+// optional disk-fault channel models the three failure modes the read
+// path must survive: transient EIO (retried once, the retry lands),
+// short write (torn tmp file, rotation aborted — exactly a kill
+// mid-write), and post-CRC corruption (poisoned primary, caught on read).
+void write_durable_file(const std::string& path,
+                        std::vector<std::uint8_t> bytes,
+                        const FaultInjector* faults, DiskOp op,
+                        std::uint64_t op_id) {
+  ByteWriter trailer;
+  trailer.write(kTrailerMagic);
+  trailer.write(crc32(bytes));
+  const auto& t = trailer.bytes();
+  bytes.insert(bytes.end(), t.begin(), t.end());
+
+  std::size_t n = bytes.size();
+  bool short_write = false;
+  if (faults != nullptr && faults->plan().has_disk()) {
+    const DiskOutcome out = faults->disk_outcome(op, op_id);
+    if (out.corrupt) {
+      // Bits flip after the trailer was stamped, so the corruption is
+      // detectable on read no matter where it lands.
+      faults->corrupt_bytes(bytes, op_id);
+    }
+    if (out.short_write) {
+      n = std::max<std::size_t>(
+          1, std::min(n - 1, static_cast<std::size_t>(
+                                 out.keep_fraction *
+                                 static_cast<double>(bytes.size()))));
+      short_write = true;
+    }
+    // out.eio: transient EIO on open/flush, absorbed by a single retry —
+    // no observable file effect.
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    FMS_CHECK_MSG(f.good(), "cannot open " << tmp);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(n));
+    f.flush();
+    FMS_CHECK_MSG(f.good(), "write failed for " << tmp);
+  }
+  // A short write models a kill mid-write: the torn bytes live only in
+  // the tmp file and the rotation never happens — primary and `.prev`
+  // are untouched, which is the whole point of the tmp+rename protocol.
+  if (short_write) return;
+
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".prev", ec);
+    FMS_CHECK_MSG(!ec, "rotation to .prev failed for " << path);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  FMS_CHECK_MSG(!ec, "rename into place failed for " << path);
 }
 
 }  // namespace
@@ -102,12 +183,27 @@ void restore_checkpoint(const SearchCheckpoint& ckpt, Supernet& supernet,
 }
 
 void write_checkpoint_file(const std::string& path,
-                           const SearchCheckpoint& ckpt) {
-  write_file(path, ckpt.serialize());
+                           const SearchCheckpoint& ckpt,
+                           const FaultInjector* faults, std::uint64_t op_id) {
+  write_durable_file(path, ckpt.serialize(), faults, DiskOp::kCheckpointWrite,
+                     op_id);
 }
 
 SearchCheckpoint read_checkpoint_file(const std::string& path) {
-  return SearchCheckpoint::deserialize(read_file(path));
+  return SearchCheckpoint::deserialize(read_durable_file(path));
+}
+
+CheckpointLoad read_checkpoint_file_with_fallback(const std::string& path) {
+  CheckpointLoad load;
+  try {
+    load.ckpt = read_checkpoint_file(path);
+    return load;
+  } catch (const CheckError& e) {
+    load.primary_error = e.what();
+  }
+  load.ckpt = read_checkpoint_file(path + ".prev");
+  load.used_prev = true;
+  return load;
 }
 
 std::vector<std::uint8_t> serialize_genotype(const Genotype& g) {
@@ -152,12 +248,27 @@ Genotype deserialize_genotype(const std::vector<std::uint8_t>& bytes) {
   return g;
 }
 
-void write_genotype_file(const std::string& path, const Genotype& g) {
-  write_file(path, serialize_genotype(g));
+void write_genotype_file(const std::string& path, const Genotype& g,
+                         const FaultInjector* faults, std::uint64_t op_id) {
+  write_durable_file(path, serialize_genotype(g), faults,
+                     DiskOp::kGenotypeWrite, op_id);
 }
 
 Genotype read_genotype_file(const std::string& path) {
-  return deserialize_genotype(read_file(path));
+  return deserialize_genotype(read_durable_file(path));
+}
+
+GenotypeLoad read_genotype_file_with_fallback(const std::string& path) {
+  GenotypeLoad load;
+  try {
+    load.genotype = read_genotype_file(path);
+    return load;
+  } catch (const CheckError& e) {
+    load.primary_error = e.what();
+  }
+  load.genotype = read_genotype_file(path + ".prev");
+  load.used_prev = true;
+  return load;
 }
 
 }  // namespace fms

@@ -3,10 +3,16 @@
 // search that runs for thousands of rounds must survive server restarts;
 // this module gives the orchestrator durable state with format/version
 // and shape validation on load.
+// Writes are crash-atomic: serialize -> CRC trailer -> `<path>.tmp` ->
+// flush -> rename the old primary to `<path>.prev` -> rename the tmp into
+// place. A kill anywhere leaves either the old file, the new file, or
+// both generations intact — never a torn primary — and restore falls back
+// to `.prev` when the primary fails CRC or parse.
 #pragma once
 
 #include <string>
 
+#include "src/fault/fault.h"
 #include "src/nas/genotype.h"
 #include "src/nas/supernet.h"
 #include "src/rl/policy.h"
@@ -48,14 +54,42 @@ SearchCheckpoint make_checkpoint(Supernet& supernet, const ArchPolicy& policy,
 void restore_checkpoint(const SearchCheckpoint& ckpt, Supernet& supernet,
                         ArchPolicy& policy);
 
+// Atomic write with `.prev` rotation (see file header). When `faults` is
+// non-null and its plan schedules disk faults, the write is subjected to
+// the seeded disk-fault channel keyed by `op_id` (the round): transient
+// EIO (retried), short write of the tmp file (rotation aborted, primary
+// untouched), or post-CRC corruption (caught on read, `.prev` fallback).
 void write_checkpoint_file(const std::string& path,
-                           const SearchCheckpoint& ckpt);
+                           const SearchCheckpoint& ckpt,
+                           const FaultInjector* faults = nullptr,
+                           std::uint64_t op_id = 0);
 SearchCheckpoint read_checkpoint_file(const std::string& path);
 
-// Genotype persistence (binary, versioned).
+// Restore with `.prev` fallback: tries the primary first; on CRC/parse
+// failure loads `<path>.prev` instead. Throws only when both generations
+// are unreadable. `used_prev` and `primary_error` let the caller surface
+// the fallback (flight-recorder event + counter).
+struct CheckpointLoad {
+  SearchCheckpoint ckpt;
+  bool used_prev = false;
+  std::string primary_error;  // empty when the primary loaded cleanly
+};
+CheckpointLoad read_checkpoint_file_with_fallback(const std::string& path);
+
+// Genotype persistence (binary, versioned). Same atomic-write + fallback
+// contract as checkpoints.
 std::vector<std::uint8_t> serialize_genotype(const Genotype& g);
 Genotype deserialize_genotype(const std::vector<std::uint8_t>& bytes);
-void write_genotype_file(const std::string& path, const Genotype& g);
+void write_genotype_file(const std::string& path, const Genotype& g,
+                         const FaultInjector* faults = nullptr,
+                         std::uint64_t op_id = 0);
 Genotype read_genotype_file(const std::string& path);
+
+struct GenotypeLoad {
+  Genotype genotype;
+  bool used_prev = false;
+  std::string primary_error;
+};
+GenotypeLoad read_genotype_file_with_fallback(const std::string& path);
 
 }  // namespace fms

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <filesystem>
 #include <limits>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "src/common/serialize.h"
+#include "src/common/stopwatch.h"
 #include "src/nn/optim.h"
 #include "src/obs/alloc.h"
 #include "src/obs/health.h"
@@ -71,15 +73,21 @@ FederatedSearch::~FederatedSearch() {
   if (owns_telemetry_) obs::Telemetry::instance().finish();
 }
 
-std::vector<RoundRecord> FederatedSearch::run_warmup(int steps) {
+SearchOptions FederatedSearch::warmup_options() {
   SearchOptions opts;
   opts.update_alpha = false;
   opts.update_theta = true;
   opts.stale_policy = StalePolicy::kHardSync;
+  return opts;
+}
+
+std::vector<RoundRecord> FederatedSearch::run_warmup(int steps) {
+  const SearchOptions opts = warmup_options();
   std::vector<RoundRecord> records;
   records.reserve(static_cast<std::size_t>(steps));
   for (int s = 0; s < steps; ++s) {
     records.push_back(run_round(round_counter_++, opts));
+    journal_round(0, records.back());
     if (on_round) on_round(records.back());
   }
   return records;
@@ -93,17 +101,68 @@ std::vector<RoundRecord> FederatedSearch::run_search(
   records.reserve(static_cast<std::size_t>(steps));
   for (int s = 0; s < steps; ++s) {
     records.push_back(run_round(round_counter_++, opts));
+    journal_round(1, records.back());
     if (on_round) on_round(records.back());
     if (auto_ckpt && round_counter_ % opts.checkpoint_every == 0) {
       FMS_SPAN("checkpoint");
-      write_checkpoint_file(opts.checkpoint_path, checkpoint());
+      write_checkpoint_file(opts.checkpoint_path, checkpoint(),
+                            disk_faults_.get(),
+                            static_cast<std::uint64_t>(round_counter_));
       if (obs::telemetry_enabled()) {
         obs::Telemetry::instance().registry().counter("fms.checkpoints.written")
             .add(1);
       }
+      // Rotate the journal at the instant the checkpoint commits: the
+      // retained `.prev` checkpoint generation stays covered by the
+      // `.prev` journal frames, so recovery can replay forward from
+      // either generation. (A kill between the two renames is safe —
+      // recovery filters frames to rounds past the restored checkpoint.)
+      if (journal_) {
+        journal_->rotate();
+        if (obs::telemetry_enabled()) {
+          obs::Telemetry::instance().registry().counter("fms.journal.rotations")
+              .add(1);
+        }
+      }
     }
   }
   return records;
+}
+
+void FederatedSearch::enable_journal(const std::string& path,
+                                     const FaultPlan& disk_plan) {
+  journal_ = std::make_unique<RoundJournal>(path, disk_plan);
+  disk_faults_ = std::make_unique<FaultInjector>(disk_plan, 1);
+}
+
+void FederatedSearch::journal_round(std::uint8_t phase,
+                                    const RoundRecord& rec) {
+  if (!journal_) return;
+  // Purely observational: save_state() is const on every stream touched
+  // here, so the trajectory is bit-identical with journaling on or off.
+  JournalFrame f;
+  f.phase = phase;
+  f.round = rec.round;
+  f.record = rec.canonical();
+  f.rng_cursor = rng_.save_state();
+  f.staleness_cursor = staleness_rng_.save_state();
+  f.degrade_mode = static_cast<int>(degrade_.mode());
+  f.degrade_transitions = degrade_.transitions();
+  const JournalStats before = journal_->stats();
+  journal_->append(f);
+  if (obs::telemetry_enabled()) {
+    const JournalStats& after = journal_->stats();
+    auto& reg = obs::Telemetry::instance().registry();
+    if (after.frames_written > before.frames_written) {
+      reg.counter("fms.journal.frames_written").add(1);
+    }
+    if (after.eio_retries > before.eio_retries) {
+      reg.counter("fms.journal.eio_retries").add(1);
+    }
+    if (after.short_writes > before.short_writes) {
+      reg.counter("fms.journal.short_writes").add(1);
+    }
+  }
 }
 
 RoundRecord FederatedSearch::run_round(int t, const SearchOptions& opts) {
@@ -1043,6 +1102,129 @@ void FederatedSearch::restore(const SearchCheckpoint& ckpt) {
   policy_.restore_baseline(ckpt.baseline, ckpt.baseline_initialized);
   round_counter_ = ckpt.round;
   if (ckpt.has_runtime_state()) restore_runtime_state(ckpt.runtime_state);
+}
+
+FederatedSearch::RecoveryReport FederatedSearch::recover(
+    const RecoverConfig& rc) {
+  Stopwatch timer;
+  RecoveryReport report;
+  const bool telemetry = obs::telemetry_enabled();
+
+  // 1. Newest valid checkpoint, falling back to the retained `.prev`
+  // generation when the primary fails CRC or parse. No checkpoint at all
+  // means the crash happened before the first auto-checkpoint: recovery
+  // replays from round 0 (the constructor state is the round-0 state).
+  std::error_code ec;
+  if (std::filesystem::exists(rc.checkpoint_path, ec) ||
+      std::filesystem::exists(rc.checkpoint_path + ".prev", ec)) {
+    const CheckpointLoad load =
+        read_checkpoint_file_with_fallback(rc.checkpoint_path);
+    restore(load.ckpt);
+    report.checkpoint_loaded = true;
+    report.used_prev_checkpoint = load.used_prev;
+    if (load.used_prev) {
+      if (telemetry) {
+        obs::Telemetry::instance()
+            .registry()
+            .counter("fms.checkpoints.prev_fallback")
+            .add(1);
+      }
+      if (obs::tracing_enabled()) {
+        obs::TraceContext::instance().dump_flight("checkpoint_prev_fallback");
+      }
+    }
+  }
+  report.start_round = round_counter_;
+
+  // 2. Journal frames from both generations: `.prev` covers the previous
+  // checkpoint generation, the live file covers the current one. Frames
+  // at rounds the checkpoint already contains are stale — drop them.
+  const RoundJournal::LoadResult prev =
+      RoundJournal::load(rc.journal_path + ".prev");
+  const RoundJournal::LoadResult live = RoundJournal::load(rc.journal_path);
+  FMS_CHECK_MSG(live.header_valid,
+                "journal header is corrupt: " << rc.journal_path);
+  std::map<int, JournalFrame> frames;
+  for (const auto* lr : {&prev, &live}) {
+    for (const JournalFrame& f : lr->frames) {
+      if (f.round >= round_counter_) frames[f.round] = f;
+    }
+  }
+  report.frames_loaded = frames.size();
+
+  // 3. Torn-tail rule: a frame that is short or fails CRC — and anything
+  // after it — never happened. Truncate it off so the resumed journal
+  // appends after the last good frame.
+  if (live.torn_bytes > 0) {
+    RoundJournal::truncate_to(rc.journal_path, live.valid_bytes);
+    report.torn_bytes = live.torn_bytes;
+    if (telemetry) {
+      auto& reg = obs::Telemetry::instance().registry();
+      reg.counter("fms.journal.frames_truncated").add(1);
+      reg.counter("fms.journal.torn_bytes")
+          .add(static_cast<std::uint64_t>(live.torn_bytes));
+    }
+    if (obs::tracing_enabled()) {
+      obs::TraceContext::instance().dump_flight("journal_torn_tail");
+    }
+  }
+
+  // 4. Deterministic replay: re-execute every round past the checkpoint
+  // up to the newest journaled round, verifying each re-executed round
+  // against its frame when one survived. Replay is gap-tolerant — a
+  // round whose frame was lost to a short write is re-executed all the
+  // same (determinism comes from the restored state, not the frames); it
+  // just cannot be cross-checked. The phase boundary comes from the
+  // caller's warmup_rounds, not the frames, so a journal losing its
+  // warmup frames still replays correctly.
+  if (!frames.empty()) {
+    const int last = frames.rbegin()->first;
+    const SearchOptions warmup = warmup_options();
+    while (round_counter_ <= last) {
+      const int t = round_counter_;
+      const std::uint8_t phase = t < rc.warmup_rounds ? 0 : 1;
+      const RoundRecord rec =
+          run_round(round_counter_++, phase == 0 ? warmup : rc.search);
+      ++report.replayed_rounds;
+      const auto it = frames.find(t);
+      if (it == frames.end()) continue;
+      const JournalFrame& f = it->second;
+      FMS_CHECK_MSG(f.phase == phase, "journal replay diverged at round "
+                                          << t << ": phase mismatch");
+      ByteWriter replayed;
+      ByteWriter journaled;
+      rec.canonical().serialize(replayed);
+      f.record.serialize(journaled);
+      FMS_CHECK_MSG(replayed.bytes() == journaled.bytes(),
+                    "journal replay diverged at round "
+                        << t << ": round record mismatch");
+      FMS_CHECK_MSG(rng_.save_state() == f.rng_cursor,
+                    "journal replay diverged at round " << t
+                                                        << ": rng cursor");
+      FMS_CHECK_MSG(staleness_rng_.save_state() == f.staleness_cursor,
+                    "journal replay diverged at round "
+                        << t << ": staleness cursor");
+      FMS_CHECK_MSG(static_cast<int>(degrade_.mode()) == f.degrade_mode &&
+                        degrade_.transitions() == f.degrade_transitions,
+                    "journal replay diverged at round "
+                        << t << ": degradation ladder");
+    }
+  }
+
+  report.recovery_ms = timer.elapsed_seconds() * 1000.0;
+  if (telemetry) {
+    auto& reg = obs::Telemetry::instance().registry();
+    if (report.replayed_rounds > 0) {
+      reg.counter("fms.journal.frames_replayed")
+          .add(static_cast<std::uint64_t>(report.replayed_rounds));
+    }
+    reg.gauge("fms.journal.recovery_ms").set(report.recovery_ms);
+  }
+
+  // Resume journaling where the crashed run left off: new frames append
+  // after the (possibly truncated) tail.
+  enable_journal(rc.journal_path, rc.search.fault_plan);
+  return report;
 }
 
 std::vector<std::uint8_t> FederatedSearch::serialize_runtime_state() const {

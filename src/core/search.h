@@ -22,6 +22,8 @@
 #include "src/common/stats.h"
 #include "src/core/checkpoint.h"
 #include "src/core/deadline.h"
+#include "src/core/journal.h"
+#include "src/core/round_record.h"
 #include "src/data/dataset.h"
 #include "src/dc/compensation.h"
 #include "src/fault/degrade.h"
@@ -115,57 +117,8 @@ struct SearchOptions {
   std::string checkpoint_path;
 };
 
-struct RoundRecord {
-  int round = 0;
-  double mean_reward = 0.0;   // average training accuracy of arrived updates
-  double moving_avg = 0.0;    // 50-round moving average (paper's curves)
-  int arrived = 0;
-  int dropped = 0;
-  double max_latency_s = 0.0;
-  double mean_latency_s = 0.0;
-  std::size_t bytes_down = 0;
-  std::size_t bytes_up = 0;
-  // Staleness observability (paper Fig. 8 / Alg. 1): of the updates applied
-  // this round, how many were stale (tau > 0), how late they were, and how
-  // many went through the Eq. 13/15 delay compensation.
-  int stale_arrived = 0;
-  int compensated = 0;
-  double mean_tau = 0.0;  // mean staleness of applied updates, in rounds
-  int max_tau = 0;
-  // Search-semantic gauges the paper's curves need.
-  double alpha_entropy = 0.0;  // mean per-edge policy entropy (nats)
-  double baseline = 0.0;       // REINFORCE moving-average baseline (Eq. 9)
-  // Fault-tolerance observability.
-  int offline = 0;       // participants crashed or dropped out this round
-  int rejected = 0;      // updates rejected by screening
-  int late = 0;          // updates past the quorum commit deadline
-  int retransmits = 0;   // link retries performed this round
-  bool partial_quorum = false;   // committed with fewer than ceil(q*K) on time
-  double commit_latency_s = 0.0;  // simulated time at which the round closed
-  // Robust-aggregation observability.
-  int agg_clipped = 0;            // updates norm-clipped by clipped_mean
-  double agg_clipped_mass = 0.0;  // L2 mass removed by that clipping
-  long agg_trimmed = 0;           // coordinate values trimmed (trimmed_mean)
-  int agg_rejected = 0;           // updates excluded by krum / multi_krum
-  int winsorized = 0;             // rewards clamped into the Tukey band
-  double screen_bound = 0.0;      // effective gradient-norm cutoff this round
-  // Search-health observability (src/obs/health). Both stay at their
-  // defaults when the monitor is off — the record is otherwise untouched,
-  // preserving the bit-identity contract.
-  int health = 0;                 // worst detector: 0 OK / 1 WARN / 2 CRIT
-  std::string health_trips;       // detectors at WARN+, comma-joined
-  // Churn + graceful-degradation observability. A churn-free run reports
-  // live == K, joined == left == shed == 0, cohort == K, degrade_mode 0.
-  int live = 0;       // clients live under the churn schedule
-  int joined = 0;     // absent -> live transitions this round
-  int left = 0;       // live -> absent transitions this round
-  int cohort = 0;     // clients actually dispatched to
-  int shed = 0;       // live clients skipped by cohort shrink (mode >= 2)
-  double deadline_s = 0.0;  // timeout cap in effect (0 = uncapped)
-  int degrade_mode = 0;     // ladder mode in effect during the round
-  // "from->to" when the controller moved at the end of this round.
-  std::string degrade_transition;
-};
+// RoundRecord lives in src/core/round_record.h (extracted so the round
+// journal can serialize whole records without pulling in this header).
 
 // Cumulative robustness ledger across all rounds (CLI summary): how much
 // influence the robust estimators and the winsorized reward channel
@@ -215,6 +168,41 @@ class FederatedSearch {
   // and round counter but not the runtime streams.
   void restore(const SearchCheckpoint& ckpt);
 
+  // --- write-ahead round journal + kill-anywhere recovery ---
+  // Opens the journal at `path`; from then on every committed round
+  // appends one frame. `disk_plan` seeds the disk-fault channel (pass the
+  // run's fault plan; a plan without disk_* keys journals fault-free).
+  // Journaling is purely observational: the search trajectory is
+  // bit-identical with it on or off.
+  void enable_journal(const std::string& path, const FaultPlan& disk_plan);
+  const RoundJournal* journal() const { return journal_.get(); }
+
+  struct RecoverConfig {
+    std::string checkpoint_path;  // primary; `.prev` is the fallback
+    std::string journal_path;     // live journal; `.prev` covers the
+                                  // previous checkpoint generation
+    int warmup_rounds = 0;        // phase boundary for replay
+    SearchOptions search;         // options the crashed run used
+  };
+
+  struct RecoveryReport {
+    bool checkpoint_loaded = false;   // false: no checkpoint, fresh start
+    bool used_prev_checkpoint = false;
+    int start_round = 0;        // round counter restored from the checkpoint
+    int replayed_rounds = 0;    // rounds re-executed past the checkpoint
+    std::uint64_t frames_loaded = 0;
+    std::size_t torn_bytes = 0;  // truncated off the live journal tail
+    double recovery_ms = 0.0;
+  };
+
+  // Kill-anywhere recovery: loads the newest valid checkpoint (falling
+  // back to `.prev`), truncates any torn journal tail, deterministically
+  // re-executes every round past the checkpoint, and verifies each
+  // re-executed round against its journal frame (record bytes, RNG
+  // cursors, ladder position) when one survived. Leaves the search ready
+  // to continue — and journaling to `journal_path`.
+  RecoveryReport recover(const RecoverConfig& rc);
+
   // Cumulative fault ledger across all rounds run so far. Invariant:
   // injected_total() == rejected + dropped + recovered.
   const FaultStats& fault_stats() const { return fault_stats_; }
@@ -241,6 +229,12 @@ class FederatedSearch {
                               const FaultStats& before);
   std::vector<std::uint8_t> serialize_runtime_state() const;
   void restore_runtime_state(const std::vector<std::uint8_t>& bytes);
+  // The fixed warm-up options (P1): uniform alpha, theta-only updates.
+  // Shared between run_warmup and recovery replay so both phases execute
+  // the identical configuration.
+  static SearchOptions warmup_options();
+  // Appends one frame for a committed round (no-op when no journal).
+  void journal_round(std::uint8_t phase, const RoundRecord& rec);
 
   SearchConfig cfg_;
   Rng rng_;
@@ -263,6 +257,10 @@ class FederatedSearch {
   ClientRegistry registry_;
   DeadlineEstimator deadline_est_;
   DegradationController degrade_;
+  std::unique_ptr<RoundJournal> journal_;
+  // Disk-fault channel for checkpoint/genotype writes (shares the plan
+  // seed with the journal's own injector, distinct DiskOp streams).
+  std::unique_ptr<FaultInjector> disk_faults_;
   int round_counter_ = 0;
   std::size_t total_bytes_down_ = 0;
   std::size_t total_bytes_up_ = 0;

@@ -32,6 +32,12 @@ constexpr std::uint64_t kSaltGradScale = 0xA2;
 constexpr std::uint64_t kSaltCollude = 0xA3;
 constexpr std::uint64_t kSaltColludeStream = 0xA4;
 constexpr std::uint64_t kSaltRewardAttack = 0xA5;
+// Disk faults (durability path): keyed by (op, op_id = round), not by
+// participant — durable writes happen on the coordinator.
+constexpr std::uint64_t kSaltDiskEio = 0xE0;
+constexpr std::uint64_t kSaltDiskShort = 0xE1;
+constexpr std::uint64_t kSaltDiskTear = 0xE2;
+constexpr std::uint64_t kSaltDiskCorrupt = 0xE3;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -100,6 +106,10 @@ bool FaultPlan::empty() const {
 bool FaultPlan::has_byzantine() const {
   return sign_flip_fraction > 0.0 || grad_scale_fraction > 0.0 ||
          collude_fraction > 0.0 || reward_attack_fraction > 0.0;
+}
+
+bool FaultPlan::has_disk() const {
+  return disk_eio_p > 0.0 || disk_short_p > 0.0 || disk_corrupt_p > 0.0;
 }
 
 FaultPlan FaultPlan::severe(std::uint64_t seed) {
@@ -183,6 +193,16 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       FMS_CHECK_MSG(plan.reward_attack_delta >= -1.0 &&
                         plan.reward_attack_delta <= 1.0,
                     "reward_attack_delta must be in [-1, 1]");
+    } else if (key == "disk_eio") {
+      plan.disk_eio_p = parse_prob(key, value);
+    } else if (key == "disk_short") {
+      plan.disk_short_p = parse_prob(key, value);
+    } else if (key == "disk_corrupt") {
+      plan.disk_corrupt_p = parse_prob(key, value);
+    } else if (key == "disk_corrupt_bits") {
+      plan.disk_corrupt_bits = static_cast<int>(parse_double(key, value));
+      FMS_CHECK_MSG(plan.disk_corrupt_bits >= 1,
+                    "disk_corrupt_bits must be >= 1");
     } else if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parse_double(key, value));
     } else {
@@ -207,7 +227,10 @@ std::string FaultPlan::to_string() const {
      << ",grad_scale_lambda=" << grad_scale_lambda
      << ",collude=" << collude_fraction << ",collude_scale=" << collude_scale
      << ",reward_attack=" << reward_attack_fraction
-     << ",reward_attack_delta=" << reward_attack_delta << ",seed=" << seed;
+     << ",reward_attack_delta=" << reward_attack_delta
+     << ",disk_eio=" << disk_eio_p << ",disk_short=" << disk_short_p
+     << ",disk_corrupt=" << disk_corrupt_p
+     << ",disk_corrupt_bits=" << disk_corrupt_bits << ",seed=" << seed;
   return os.str();
 }
 
@@ -397,6 +420,36 @@ void FaultInjector::corrupt(std::vector<float>& values, int participant,
     std::memcpy(&word, &values[idx], sizeof(word));
     word ^= (1U << bit);
     std::memcpy(&values[idx], &word, sizeof(word));
+  }
+}
+
+DiskOutcome FaultInjector::disk_outcome(DiskOp op, std::uint64_t op_id) const {
+  DiskOutcome out;
+  if (!plan_.has_disk()) return out;
+  const auto o = static_cast<std::uint64_t>(op);
+  if (plan_.disk_eio_p > 0.0 && u01(kSaltDiskEio, o, op_id) < plan_.disk_eio_p) {
+    out.eio = true;
+  }
+  if (plan_.disk_short_p > 0.0 &&
+      u01(kSaltDiskShort, o, op_id) < plan_.disk_short_p) {
+    out.short_write = true;
+    out.keep_fraction = u01(kSaltDiskTear, o, op_id);
+  }
+  if (plan_.disk_corrupt_p > 0.0 &&
+      u01(kSaltDiskCorrupt, o, op_id) < plan_.disk_corrupt_p) {
+    out.corrupt = true;
+  }
+  return out;
+}
+
+void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& bytes,
+                                  std::uint64_t op_id) const {
+  if (bytes.empty()) return;
+  Rng rng(mix(plan_.seed, kSaltDiskCorrupt, op_id, 1));
+  for (int i = 0; i < plan_.disk_corrupt_bits; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<int>(bytes.size()) - 1));
+    bytes[idx] ^= static_cast<std::uint8_t>(1U << rng.randint(0, 7));
   }
 }
 

@@ -77,11 +77,29 @@ struct FaultPlan {
   double collude_scale = 5.0;       // magnitude of the cloned direction
   double reward_attack_fraction = 0.0;  // fraction lying about accuracy
   double reward_attack_delta = 0.5;     // signed shift; < 0 deflates
+  // --- disk faults (durability path: journal appends, checkpoint and
+  // genotype writes). Per-operation probabilities keyed by (op, round);
+  // the writers in src/core consult these directly, so the round loop's
+  // fault-free fast path — and the search trajectory — is untouched by a
+  // disk-only plan. ---
+  double disk_eio_p = 0.0;      // P(transient EIO on open/flush; one retry
+                                // then the write lands)
+  double disk_short_p = 0.0;    // P(short write: only a prefix of the
+                                // buffer reaches disk — a torn tail)
+  double disk_corrupt_p = 0.0;  // P(buffer bit-flips between CRC stamping
+                                // and the write — a poisoned file)
+  int disk_corrupt_bits = 32;   // flipped bits per corrupted write
   std::uint64_t seed = 0x7a0175;
 
+  // True when no network/payload/Byzantine family is scheduled — the
+  // round loop's fast path. Disk faults are deliberately excluded: they
+  // never touch the search trajectory, only the durability writers, which
+  // check has_disk() themselves.
   bool empty() const;
   // True when any Byzantine family is scheduled.
   bool has_byzantine() const;
+  // True when any disk-fault family is scheduled.
+  bool has_disk() const;
 
   // Reference campaign of the acceptance bar: 30% crashed participants,
   // corrupted payloads, and NaN/exploding-gradient clients.
@@ -93,10 +111,33 @@ struct FaultPlan {
   // uplink, backoff_jitter, collapse, collapse_factor, corrupt,
   // corrupt_bits, divergent, divergent_p, sign_flip, sign_flip_lambda,
   // grad_scale, grad_scale_lambda, collude, collude_scale, reward_attack,
-  // reward_attack_delta, seed. Throws CheckError on unknown keys or bad
+  // reward_attack_delta, disk_eio, disk_short, disk_corrupt,
+  // disk_corrupt_bits, seed. Throws CheckError on unknown keys or bad
   // values.
   static FaultPlan parse(const std::string& spec);
   std::string to_string() const;
+};
+
+// Durable-write operations the disk-fault channel can strike. The enum
+// value is a salt-stream discriminator: the same (op_id = round) draws
+// independent outcomes for the journal append and the checkpoint write
+// of the same round.
+enum class DiskOp : std::uint64_t {
+  kJournalAppend = 1,
+  kCheckpointWrite = 2,
+  kGenotypeWrite = 3,
+};
+
+// What the disk does to one durable write. At most the writer observes:
+// a transient EIO (retry succeeds), a short write (a prefix of the buffer
+// lands — keep_fraction in [0, 1)), or silent corruption (bits flip after
+// the CRC was stamped, so the read path must catch it).
+struct DiskOutcome {
+  bool eio = false;
+  bool short_write = false;
+  double keep_fraction = 1.0;  // meaningful only when short_write
+  bool corrupt = false;
+  bool faulted() const { return eio || short_write || corrupt; }
 };
 
 // Outcome of the download-link simulation for one participant-round,
@@ -194,6 +235,17 @@ class FaultInjector {
   // Poisons an update the way a divergent client would: NaN / Inf /
   // exploding gradients and an out-of-range or non-finite reward.
   void poison(UpdateMsg& upd, int participant, int round) const;
+
+  // --- disk faults (durability path) ---
+  // The fate of one durable write, a pure function of (plan seed, op,
+  // op_id) like every other decision here — a recovered run re-derives
+  // the same disk-fault schedule it crashed under.
+  DiskOutcome disk_outcome(DiskOp op, std::uint64_t op_id) const;
+  // Flips plan.disk_corrupt_bits random bits across the buffer,
+  // deterministically per op_id. Called by the writers after the CRC is
+  // stamped, so the corruption is detectable on read.
+  void corrupt_bytes(std::vector<std::uint8_t>& bytes,
+                     std::uint64_t op_id) const;
 
  private:
   double u01(std::uint64_t salt, std::uint64_t a, std::uint64_t b) const;

@@ -1,0 +1,491 @@
+// Durability surface: the write-ahead round journal, crash-atomic
+// checkpoint rotation, the seeded disk-fault channel, and kill-anywhere
+// deterministic recovery. Selected with `ctest -L durability`.
+//
+// The kill model: every journal append is flushed before the round loop
+// continues, so destroying the process after round j is byte-equivalent
+// to SIGKILL anywhere between rounds j and j+1. Mid-frame kills (SIGKILL
+// *during* an append) are covered by chopping bytes off the journal tail
+// and by the disk_short fault channel, which leave exactly the torn
+// files a real mid-write kill would.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/serialize.h"
+#include "src/core/checkpoint.h"
+#include "src/core/journal.h"
+#include "src/core/search.h"
+#include "src/data/synth.h"
+#include "src/fault/fault.h"
+
+namespace fms {
+namespace {
+
+constexpr int kWarmup = 2;
+constexpr int kSearch = 6;
+constexpr int kTotal = kWarmup + kSearch;
+
+SearchConfig tiny_config() {
+  SearchConfig cfg;
+  cfg.supernet.num_cells = 3;
+  cfg.supernet.num_nodes = 2;
+  cfg.supernet.stem_channels = 4;
+  cfg.supernet.image_size = 8;
+  cfg.schedule.batch_size = 8;
+  cfg.schedule.num_participants = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TrainTest tiny_data(Rng& rng) {
+  SynthSpec spec;
+  spec.train_size = 160;
+  spec.test_size = 40;
+  spec.image_size = 8;
+  return make_synth_c10(spec, rng);
+}
+
+struct Scenario {
+  SearchConfig cfg;
+  TrainTest tt;
+  std::vector<std::vector<int>> parts;
+};
+
+Scenario make_scenario() {
+  Rng rng(51);
+  Scenario s{tiny_config(), tiny_data(rng), {}};
+  s.parts =
+      iid_partition(s.tt.train.size(), s.cfg.schedule.num_participants, rng);
+  return s;
+}
+
+// Fresh per-test scratch dir (tests in one binary share TempDir()).
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/fms_dur_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SearchOptions ckpt_opts(const std::string& dir) {
+  SearchOptions opts;
+  opts.checkpoint_every = 3;
+  opts.checkpoint_path = dir + "/ck.bin";
+  return opts;
+}
+
+// Terminal-state fingerprint for bitwise comparison across runs.
+struct FinalState {
+  std::vector<float> theta;
+  std::vector<float> alpha;
+  std::vector<std::uint8_t> genotype;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_accounted = 0;
+  std::size_t bytes_down = 0;
+  std::size_t bytes_up = 0;
+};
+
+FinalState fingerprint(FederatedSearch& s) {
+  FinalState f;
+  f.theta = s.supernet().flat_values();
+  f.alpha = s.policy().alpha().flatten();
+  f.genotype = serialize_genotype(s.derive());
+  f.faults_injected = s.fault_stats().injected_total();
+  f.faults_accounted = s.fault_stats().accounted();
+  f.bytes_down = s.total_bytes_down();
+  f.bytes_up = s.total_bytes_up();
+  return f;
+}
+
+void expect_identical(const FinalState& a, const FinalState& b) {
+  EXPECT_EQ(a.theta, b.theta);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.genotype, b.genotype);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_accounted, b.faults_accounted);
+  EXPECT_EQ(a.bytes_down, b.bytes_down);
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+}
+
+// The uninterrupted reference: same trajectory, no durability machinery
+// (journaling is observational — pinned by JournalingIsPurelyObservational).
+FinalState reference_run(const Scenario& s, const SearchOptions& opts) {
+  FederatedSearch search(s.cfg, s.tt.train, s.parts);
+  search.run_warmup(kWarmup);
+  SearchOptions ref = opts;
+  ref.checkpoint_every = 0;
+  ref.checkpoint_path.clear();
+  search.run_search(kSearch, ref);
+  return fingerprint(search);
+}
+
+// Runs the journaled search for exactly `kill_after` committed rounds,
+// then stops — the kill (see the kill model in the file header).
+void run_until_kill(const Scenario& s, const std::string& dir, int kill_after,
+                    const SearchOptions& opts) {
+  FederatedSearch search(s.cfg, s.tt.train, s.parts);
+  search.enable_journal(dir + "/wal.bin", opts.fault_plan);
+  search.run_warmup(std::min(kill_after, kWarmup));
+  if (kill_after > kWarmup) search.run_search(kill_after - kWarmup, opts);
+}
+
+// Recovers in a fresh instance, finishes the campaign, and returns the
+// terminal fingerprint plus the recovery report via out-param.
+FinalState recover_and_finish(const Scenario& s, const std::string& dir,
+                              const SearchOptions& opts,
+                              FederatedSearch::RecoveryReport* report) {
+  FederatedSearch search(s.cfg, s.tt.train, s.parts);
+  FederatedSearch::RecoverConfig rc;
+  rc.checkpoint_path = dir + "/ck.bin";
+  rc.journal_path = dir + "/wal.bin";
+  rc.warmup_rounds = kWarmup;
+  rc.search = opts;
+  const FederatedSearch::RecoveryReport rep = search.recover(rc);
+  if (report != nullptr) *report = rep;
+  const int done = rep.start_round + rep.replayed_rounds;
+  search.run_warmup(std::max(0, kWarmup - done));
+  search.run_search(kTotal - std::max(done, kWarmup), opts);
+  return fingerprint(search);
+}
+
+// --- frame + file format units ---
+
+JournalFrame sample_frame(int round) {
+  JournalFrame f;
+  f.phase = round < kWarmup ? 0 : 1;
+  f.round = round;
+  f.record.round = round;
+  f.record.mean_reward = 0.25 + 0.01 * round;
+  f.record.bytes_down = 12345;
+  f.record.degrade_transition = "0->1";
+  f.rng_cursor = "rng-" + std::to_string(round);
+  f.staleness_cursor = "stale-" + std::to_string(round);
+  f.degrade_mode = 1;
+  f.degrade_transitions = round;
+  return f;
+}
+
+TEST(Journal, FrameRoundTripIsExact) {
+  const JournalFrame f = sample_frame(5);
+  const JournalFrame back = JournalFrame::deserialize(f.serialize());
+  EXPECT_EQ(back.phase, f.phase);
+  EXPECT_EQ(back.round, f.round);
+  EXPECT_EQ(back.rng_cursor, f.rng_cursor);
+  EXPECT_EQ(back.staleness_cursor, f.staleness_cursor);
+  EXPECT_EQ(back.degrade_mode, f.degrade_mode);
+  EXPECT_EQ(back.degrade_transitions, f.degrade_transitions);
+  EXPECT_EQ(back.serialize(), f.serialize());
+  // Trailing garbage is rejected, not ignored.
+  std::vector<std::uint8_t> padded = f.serialize();
+  padded.push_back(0);
+  EXPECT_THROW(JournalFrame::deserialize(padded), CheckError);
+}
+
+TEST(Journal, CrcFramingDetectsTornAndCorruptTails) {
+  std::vector<std::uint8_t> buf;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  append_crc_frame(buf, payload);
+  append_crc_frame(buf, payload);
+  std::size_t pos = 0;
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(next_crc_frame(buf, pos, &out));
+  EXPECT_EQ(out, payload);
+  // Chop the second frame short: the reader stops exactly at the torn
+  // frame and leaves pos on the truncation point.
+  std::vector<std::uint8_t> torn(buf.begin(), buf.end() - 2);
+  std::size_t tpos = 0;
+  ASSERT_TRUE(next_crc_frame(torn, tpos, &out));
+  const std::size_t boundary = tpos;
+  EXPECT_FALSE(next_crc_frame(torn, tpos, &out));
+  EXPECT_EQ(tpos, boundary);
+  // Flip a payload byte: CRC mismatch, same signal.
+  std::vector<std::uint8_t> flipped = buf;
+  flipped[kFrameHeaderBytes + 2] ^= 0x40U;
+  std::size_t fpos = 0;
+  EXPECT_FALSE(next_crc_frame(flipped, fpos, &out));
+}
+
+TEST(Journal, AppendLoadTruncateRoundTrip) {
+  const std::string dir = scratch_dir("append_load");
+  const std::string path = dir + "/wal.bin";
+  {
+    RoundJournal wal(path, FaultPlan{});
+    for (int t = 0; t < 3; ++t) wal.append(sample_frame(t));
+    EXPECT_EQ(wal.stats().frames_written, 3u);
+  }
+  RoundJournal::LoadResult full = RoundJournal::load(path);
+  ASSERT_TRUE(full.header_valid);
+  ASSERT_EQ(full.frames.size(), 3u);
+  EXPECT_EQ(full.torn_bytes, 0u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(full.frames[static_cast<std::size_t>(t)].round, t);
+  }
+  // Chop 5 bytes off the tail — a mid-frame kill. The loader reports the
+  // torn tail; truncation repairs it; a reopened writer appends cleanly.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  RoundJournal::LoadResult torn = RoundJournal::load(path);
+  ASSERT_EQ(torn.frames.size(), 2u);
+  EXPECT_GT(torn.torn_bytes, 0u);
+  RoundJournal::truncate_to(path, torn.valid_bytes);
+  {
+    RoundJournal wal(path, FaultPlan{});
+    wal.append(sample_frame(2));
+  }
+  RoundJournal::LoadResult repaired = RoundJournal::load(path);
+  ASSERT_EQ(repaired.frames.size(), 3u);
+  EXPECT_EQ(repaired.torn_bytes, 0u);
+  // A garbage header is flagged, not parsed.
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << "not a journal";
+  EXPECT_FALSE(RoundJournal::load(path).header_valid);
+}
+
+TEST(Journal, RotationKeepsThePreviousGeneration) {
+  const std::string dir = scratch_dir("rotation");
+  const std::string path = dir + "/wal.bin";
+  RoundJournal wal(path, FaultPlan{});
+  wal.append(sample_frame(0));
+  wal.append(sample_frame(1));
+  wal.rotate();
+  wal.append(sample_frame(2));
+  EXPECT_EQ(wal.stats().rotations, 1u);
+  const RoundJournal::LoadResult prev = RoundJournal::load(path + ".prev");
+  const RoundJournal::LoadResult live = RoundJournal::load(path);
+  ASSERT_EQ(prev.frames.size(), 2u);
+  ASSERT_EQ(live.frames.size(), 1u);
+  EXPECT_EQ(prev.frames[1].round, 1);
+  EXPECT_EQ(live.frames[0].round, 2);
+}
+
+// --- disk-fault channel ---
+
+TEST(DiskFaults, OutcomesAreDeterministicAndPlanGated) {
+  FaultPlan plan;
+  plan.disk_eio_p = 0.3;
+  plan.disk_short_p = 0.3;
+  plan.disk_corrupt_p = 0.3;
+  plan.seed = 77;
+  const FaultInjector a(plan, 1);
+  const FaultInjector b(plan, 1);
+  int faulted = 0;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const DiskOutcome oa = a.disk_outcome(DiskOp::kJournalAppend, id);
+    const DiskOutcome ob = b.disk_outcome(DiskOp::kJournalAppend, id);
+    EXPECT_EQ(oa.eio, ob.eio);
+    EXPECT_EQ(oa.short_write, ob.short_write);
+    EXPECT_DOUBLE_EQ(oa.keep_fraction, ob.keep_fraction);
+    EXPECT_EQ(oa.corrupt, ob.corrupt);
+    if (oa.faulted()) ++faulted;
+    // Distinct ops draw from distinct streams: the same op_id must not
+    // force the same fate onto the checkpoint write.
+    if (oa.short_write &&
+        !a.disk_outcome(DiskOp::kCheckpointWrite, id).short_write) {
+      SUCCEED();
+    }
+  }
+  EXPECT_GT(faulted, 50);
+  // A disk-only plan keeps the round loop's fault-free fast path: the
+  // trajectory never sees disk faults.
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.has_disk());
+  // And the spec round-trips through parse/to_string.
+  const FaultPlan round_trip = FaultPlan::parse(plan.to_string());
+  EXPECT_DOUBLE_EQ(round_trip.disk_eio_p, plan.disk_eio_p);
+  EXPECT_DOUBLE_EQ(round_trip.disk_short_p, plan.disk_short_p);
+  EXPECT_DOUBLE_EQ(round_trip.disk_corrupt_p, plan.disk_corrupt_p);
+  EXPECT_EQ(round_trip.disk_corrupt_bits, plan.disk_corrupt_bits);
+}
+
+// --- atomic checkpoint rotation ---
+
+TEST(AtomicCheckpoint, RotationRetainsPrevAndFallsBackOnCorruption) {
+  const std::string dir = scratch_dir("atomic_ckpt");
+  const std::string path = dir + "/ck.bin";
+  SearchCheckpoint first;
+  first.num_edges = 2;
+  first.num_nodes = 1;
+  first.round = 3;
+  first.theta = {1.0F};
+  first.alpha = AlphaPair::zeros(2);
+  SearchCheckpoint second = first;
+  second.round = 6;
+  second.theta = {2.0F};
+  write_checkpoint_file(path, first);
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+  write_checkpoint_file(path, second);
+  // Both generations readable, `.prev` holding the older one; no torn
+  // tmp file left behind.
+  EXPECT_EQ(read_checkpoint_file(path).round, 6);
+  EXPECT_EQ(read_checkpoint_file(path + ".prev").round, 3);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Poison the primary mid-file: the fallback reader flags it and serves
+  // the previous generation instead.
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }();
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_THROW(read_checkpoint_file(path), CheckError);
+  const CheckpointLoad load = read_checkpoint_file_with_fallback(path);
+  EXPECT_TRUE(load.used_prev);
+  EXPECT_FALSE(load.primary_error.empty());
+  EXPECT_EQ(load.ckpt.round, 3);
+}
+
+// --- the bit-identity contract ---
+
+TEST(Durability, JournalingIsPurelyObservational) {
+  const Scenario s = make_scenario();
+  const std::string dir = scratch_dir("observational");
+  const SearchOptions opts = ckpt_opts(dir);
+  const FinalState plain = reference_run(s, opts);
+  FederatedSearch journaled(s.cfg, s.tt.train, s.parts);
+  journaled.enable_journal(dir + "/wal.bin", opts.fault_plan);
+  journaled.run_warmup(kWarmup);
+  journaled.run_search(kSearch, opts);
+  FinalState with_journal = fingerprint(journaled);
+  expect_identical(plain, with_journal);
+  EXPECT_GT(journaled.journal()->stats().frames_written, 0u);
+}
+
+// The tentpole guarantee: recovery from EVERY kill point — including
+// before the first checkpoint and right at the end — reproduces the
+// uninterrupted terminal state bit for bit.
+TEST(Durability, KillMatrixEveryRoundBoundaryRecoversBitIdentical) {
+  const Scenario s = make_scenario();
+  SearchOptions opts;  // per-kill-point dirs get their own checkpoint path
+  const FinalState ref = reference_run(s, ckpt_opts("/unused"));
+  for (int kill = 0; kill <= kTotal; ++kill) {
+    SCOPED_TRACE("kill after round " + std::to_string(kill));
+    const std::string dir = scratch_dir("kill_" + std::to_string(kill));
+    opts = ckpt_opts(dir);
+    run_until_kill(s, dir, kill, opts);
+    FederatedSearch::RecoveryReport rep;
+    const FinalState got = recover_and_finish(s, dir, opts, &rep);
+    expect_identical(ref, got);
+    // Checkpoint + replay together must account for every killed round.
+    EXPECT_EQ(rep.start_round + rep.replayed_rounds, kill);
+  }
+}
+
+// Mid-frame kill: SIGKILL *during* an append leaves a torn tail frame.
+// Recovery truncates it and re-executes the lost round.
+TEST(Durability, MidFrameKillTruncatesTornTailAndRecovers) {
+  const Scenario s = make_scenario();
+  const FinalState ref = reference_run(s, ckpt_opts("/unused"));
+  for (const int chop : {1, 5}) {
+    SCOPED_TRACE("chopping " + std::to_string(chop) + " tail bytes");
+    const std::string dir = scratch_dir("midframe_" + std::to_string(chop));
+    const SearchOptions opts = ckpt_opts(dir);
+    run_until_kill(s, dir, 5, opts);
+    const std::string wal = dir + "/wal.bin";
+    const auto size = std::filesystem::file_size(wal);
+    std::filesystem::resize_file(wal, size - static_cast<unsigned>(chop));
+    FederatedSearch::RecoveryReport rep;
+    const FinalState got = recover_and_finish(s, dir, opts, &rep);
+    expect_identical(ref, got);
+    EXPECT_GT(rep.torn_bytes, 0u);
+    // The torn frame's round is genuinely lost: replay stops one round
+    // short, and recover_and_finish re-executes it as fresh progress —
+    // deterministically, hence the bit-identical terminal state above.
+    EXPECT_EQ(rep.start_round + rep.replayed_rounds, 4);
+  }
+}
+
+// The disk-fault channel end to end: short writes and EIOs during the
+// journaled run leave gaps and torn tails, and recovery still lands on
+// the uninterrupted terminal state (the trajectory is disk-independent).
+TEST(Durability, RecoversUnderActiveDiskFaultPlan) {
+  const Scenario s = make_scenario();
+  const std::string dir = scratch_dir("disk_faults");
+  SearchOptions opts = ckpt_opts(dir);
+  opts.fault_plan.disk_eio_p = 0.4;
+  opts.fault_plan.disk_short_p = 0.4;
+  opts.fault_plan.seed = 99;
+  const FinalState ref = reference_run(s, opts);
+  JournalStats js;
+  {
+    FederatedSearch search(s.cfg, s.tt.train, s.parts);
+    search.enable_journal(dir + "/wal.bin", opts.fault_plan);
+    search.run_warmup(kWarmup);
+    search.run_search(kSearch - 1, opts);  // kill one round short
+    js = search.journal()->stats();
+  }
+  // The plan actually bit: some appends were shorted or EIO'd.
+  EXPECT_GT(js.short_writes + js.eio_retries, 0u);
+  FederatedSearch::RecoveryReport rep;
+  const FinalState got = recover_and_finish(s, dir, opts, &rep);
+  expect_identical(ref, got);
+}
+
+// `.prev` checkpoint fallback inside full recovery: a poisoned primary
+// checkpoint silently costs one generation of replay distance, nothing
+// else.
+TEST(Durability, PrevCheckpointFallbackDuringRecovery) {
+  const Scenario s = make_scenario();
+  const std::string dir = scratch_dir("prev_fallback");
+  const SearchOptions opts = ckpt_opts(dir);
+  const FinalState ref = reference_run(s, opts);
+  run_until_kill(s, dir, 7, opts);  // checkpoints at rounds 3 and 6 exist
+  ASSERT_TRUE(std::filesystem::exists(dir + "/ck.bin.prev"));
+  // Poison the primary.
+  const std::string ck = dir + "/ck.bin";
+  auto bytes = [&] {
+    std::ifstream in(ck, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }();
+  bytes[bytes.size() / 3] ^= 0x04;
+  std::ofstream(ck, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  FederatedSearch::RecoveryReport rep;
+  const FinalState got = recover_and_finish(s, dir, opts, &rep);
+  expect_identical(ref, got);
+  EXPECT_TRUE(rep.used_prev_checkpoint);
+  EXPECT_EQ(rep.start_round, 3);  // fell back one generation...
+  EXPECT_EQ(rep.start_round + rep.replayed_rounds, 7);  // ...and replayed it
+}
+
+// Acceptance bar: kill-anywhere recovery under an active fault + churn +
+// Byzantine plan with partial quorum — the hardest trajectory the
+// substrate can produce must replay just as deterministically.
+TEST(Durability, KillMatrixUnderFaultChurnByzantinePlan) {
+  const Scenario s = make_scenario();
+  SearchOptions base;
+  base.fault_plan.crash_fraction = 0.25;
+  base.fault_plan.crash_round = 2;
+  base.fault_plan.corrupt_p = 0.1;
+  base.fault_plan.divergent_fraction = 0.25;
+  base.fault_plan.sign_flip_fraction = 0.25;
+  base.fault_plan.seed = 13;
+  base.churn_plan.leave_p = 0.1;
+  base.churn_plan.away_min = 1;
+  base.churn_plan.away_max = 3;
+  base.churn_plan.seed = 14;
+  base.quorum = 0.75;
+  base.winsorize_rewards_k = 1.5;
+  const FinalState ref = reference_run(s, base);
+  for (const int kill : {1, 4, 7}) {
+    SCOPED_TRACE("kill after round " + std::to_string(kill));
+    const std::string dir = scratch_dir("hostile_" + std::to_string(kill));
+    SearchOptions opts = base;
+    opts.checkpoint_every = 3;
+    opts.checkpoint_path = dir + "/ck.bin";
+    run_until_kill(s, dir, kill, opts);
+    FederatedSearch::RecoveryReport rep;
+    const FinalState got = recover_and_finish(s, dir, opts, &rep);
+    expect_identical(ref, got);
+    EXPECT_EQ(rep.start_round + rep.replayed_rounds, kill);
+  }
+}
+
+}  // namespace
+}  // namespace fms

@@ -2,9 +2,11 @@
 // simulator.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "gtest/gtest.h"
 #include "src/core/checkpoint.h"
+#include "src/core/journal.h"
 #include "src/core/search.h"
 #include "src/data/synth.h"
 #include "src/nas/flops.h"
@@ -145,6 +147,128 @@ TEST(Checkpoint, FileRoundTripAndGenotypeFile) {
   }
   std::filesystem::remove(ckpt_path);
   std::filesystem::remove(geno_path);
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void put_bytes(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+// Randomized corruption fuzz over the durable-file readers: for N seeded
+// trials, flip or truncate random bytes and assert the loader always
+// returns a clean indexed CheckError — never crashes, never silently
+// loads garbage. The CRC trailer makes *every* byte flip detectable.
+TEST(Checkpoint, CorruptionFuzzAlwaysYieldsCleanError) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt_path = dir + "/fms_fuzz.ckpt";
+  const std::string geno_path = dir + "/fms_fuzz.geno";
+
+  SearchCheckpoint ckpt;
+  ckpt.num_edges = 5;
+  ckpt.num_nodes = 2;
+  ckpt.round = 9;
+  ckpt.theta.assign(300, 0.25F);
+  ckpt.alpha = AlphaPair::zeros(5);
+  ckpt.runtime_state.assign(200, 0x5A);
+  write_checkpoint_file(ckpt_path, ckpt);
+  const std::vector<std::uint8_t> ckpt_good = file_bytes(ckpt_path);
+
+  Rng grng(31);
+  AlphaTable at(static_cast<std::size_t>(Cell::num_edges(2)));
+  for (auto& row : at)
+    for (auto& v : row) v = grng.normal();
+  const Genotype g = discretize(at, at, 2);
+  write_genotype_file(geno_path, g);
+  const std::vector<std::uint8_t> geno_good = file_bytes(geno_path);
+
+  Rng fuzz(0xF022);
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    for (const auto* target : {&ckpt_path, &geno_path}) {
+      const auto& good = target == &ckpt_path ? ckpt_good : geno_good;
+      std::vector<std::uint8_t> bad = good;
+      if (trial % 3 == 0) {
+        // Truncation (a torn write).
+        bad.resize(static_cast<std::size_t>(
+            fuzz.randint(0, static_cast<int>(bad.size()) - 1)));
+      } else {
+        // 1-4 byte flips anywhere in the file.
+        const int flips = fuzz.randint(1, 4);
+        for (int f = 0; f < flips; ++f) {
+          const auto idx = static_cast<std::size_t>(
+              fuzz.randint(0, static_cast<int>(bad.size()) - 1));
+          bad[idx] ^= static_cast<std::uint8_t>(fuzz.randint(1, 255));
+        }
+      }
+      put_bytes(*target, bad);
+      if (target == &ckpt_path) {
+        EXPECT_THROW(read_checkpoint_file(*target), CheckError);
+      } else {
+        EXPECT_THROW(read_genotype_file(*target), CheckError);
+      }
+    }
+  }
+  // The pristine bytes still load — the fuzz loop really was testing the
+  // corruption, not a broken fixture.
+  put_bytes(ckpt_path, ckpt_good);
+  put_bytes(geno_path, geno_good);
+  EXPECT_EQ(read_checkpoint_file(ckpt_path).theta, ckpt.theta);
+  EXPECT_EQ(read_genotype_file(geno_path).nodes, g.nodes);
+  std::filesystem::remove(ckpt_path);
+  std::filesystem::remove(geno_path);
+}
+
+// Same fuzz over the journal's tolerant loader: it must never throw —
+// corruption just shortens the valid frame prefix (torn-tail rule).
+TEST(Checkpoint, JournalCorruptionFuzzKeepsAValidPrefix) {
+  const std::string dir = ::testing::TempDir();
+  const std::string wal_path = dir + "/fms_fuzz.wal";
+  {
+    RoundJournal wal(wal_path, FaultPlan{});
+    for (int t = 0; t < 4; ++t) {
+      JournalFrame f;
+      f.phase = t < 2 ? 0 : 1;
+      f.round = t;
+      f.record.round = t;
+      f.record.mean_reward = 0.1 * t;
+      f.rng_cursor = "cursor-" + std::to_string(t);
+      f.staleness_cursor = "stale-" + std::to_string(t);
+      wal.append(f);
+    }
+  }
+  const std::vector<std::uint8_t> good = file_bytes(wal_path);
+  Rng fuzz(0xF023);
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    std::vector<std::uint8_t> bad = good;
+    if (trial % 3 == 0) {
+      bad.resize(static_cast<std::size_t>(
+          fuzz.randint(0, static_cast<int>(bad.size()) - 1)));
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          fuzz.randint(0, static_cast<int>(bad.size()) - 1));
+      bad[idx] ^= static_cast<std::uint8_t>(fuzz.randint(1, 255));
+    }
+    put_bytes(wal_path, bad);
+    const RoundJournal::LoadResult got = RoundJournal::load(wal_path);
+    // Whatever survived is a prefix of the original frames, verbatim.
+    ASSERT_LE(got.frames.size(), 4u);
+    for (std::size_t i = 0; i < got.frames.size(); ++i) {
+      EXPECT_EQ(got.frames[i].round, static_cast<int>(i));
+      EXPECT_EQ(got.frames[i].rng_cursor, "cursor-" + std::to_string(i));
+    }
+    EXPECT_EQ(got.valid_bytes + got.torn_bytes, bad.size());
+  }
+  put_bytes(wal_path, good);
+  EXPECT_EQ(RoundJournal::load(wal_path).frames.size(), 4u);
+  std::filesystem::remove(wal_path);
 }
 
 TEST(Checkpoint, SearchResumesFromCheckpoint) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Random-kill-point durability stress: repeatedly SIGKILL a journaled
+# search CLI at a random moment, recover with --recover, and require the
+# final genotype to be byte-identical to an uninterrupted reference run.
+#
+#   tools/durability_stress.sh <path-to-fms_search_cli> [iterations]
+#
+# Exits non-zero on the first mismatch. RANDOM is seeded so a failure is
+# reproducible by rerunning the script.
+set -u
+
+CLI="${1:?usage: durability_stress.sh <fms_search_cli> [iterations]}"
+ITERS="${2:-20}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+COMMON_ARGS=(--participants 4 --seed 7 --warmup 3 --rounds 24 --quorum 0.75
+  --fault-plan "crash=0.25,crash_round=4,corrupt=0.1,divergent=0.25,disk_short=0.2,disk_eio=0.2,seed=13"
+  --churn-plan "leave=0.1,away_min=1,away_max=3,seed=14")
+
+echo "== reference run (uninterrupted) =="
+REF_DIR="$WORK/ref"
+mkdir -p "$REF_DIR"
+"$CLI" "${COMMON_ARGS[@]}" --genotype-out "$REF_DIR/g.bin" \
+  > "$REF_DIR/log" 2>&1
+if [[ ! -f "$REF_DIR/g.bin" ]]; then
+  echo "FATAL: reference run produced no genotype"; tail "$REF_DIR/log"
+  exit 1
+fi
+
+RANDOM=4242
+fail=0
+for i in $(seq 1 "$ITERS"); do
+  DIR="$WORK/iter$i"
+  mkdir -p "$DIR"
+  ARGS=("${COMMON_ARGS[@]}"
+    --journal "$DIR/wal.bin"
+    --checkpoint "$DIR/ck.bin" --checkpoint-every 4
+    --genotype-out "$DIR/g.bin")
+
+  # Launch, then kill at a random offset inside the expected runtime.
+  "$CLI" "${ARGS[@]}" > "$DIR/log.0" 2>&1 &
+  pid=$!
+  # 0.05s .. 1.55s in 50ms steps — spans warmup, search, and completion.
+  sleep "$(awk -v r="$RANDOM" 'BEGIN { printf "%.2f", 0.05 + (r % 31) * 0.05 }')"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  killed="yes"
+  [[ -f "$DIR/g.bin" ]] && killed="no (finished first)"
+
+  # Recover until the run completes; a kill can land mid-recovery too,
+  # so allow a few attempts before requiring success.
+  attempt=0
+  until [[ -f "$DIR/g.bin" ]]; do
+    attempt=$((attempt + 1))
+    if (( attempt > 5 )); then
+      echo "iter $i: FAIL — no genotype after $((attempt - 1)) recoveries"
+      tail -5 "$DIR/log.$((attempt - 1))"
+      fail=1
+      break
+    fi
+    "$CLI" "${ARGS[@]}" --recover > "$DIR/log.$attempt" 2>&1
+  done
+  [[ $fail -ne 0 ]] && break
+
+  if cmp -s "$REF_DIR/g.bin" "$DIR/g.bin"; then
+    echo "iter $i: OK (killed: $killed, recoveries: $attempt)"
+  else
+    echo "iter $i: FAIL — genotype differs from reference"
+    fail=1
+    break
+  fi
+done
+
+if (( fail )); then
+  echo "== durability stress FAILED (work dir kept: $WORK) =="
+  trap - EXIT
+  exit 1
+fi
+echo "== durability stress passed ($ITERS iterations) =="

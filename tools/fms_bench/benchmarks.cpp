@@ -6,12 +6,15 @@
 // checkpoint serialize/restore, message codecs, transmission scheduling,
 // and whole warm-up / search rounds as macro benches.
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/agg/aggregator.h"
 #include "src/core/checkpoint.h"
+#include "src/core/journal.h"
 #include "src/core/search.h"
 #include "src/data/synth.h"
 #include "src/fed/messages.h"
@@ -250,6 +253,27 @@ std::vector<Benchmark> default_benchmarks() {
                       state->search->restore(
                           SearchCheckpoint::deserialize(*bytes));
                     };
+                  }});
+
+  list.push_back({"ckpt.journal_append", 4, []() -> std::function<void()> {
+                    auto state = make_search_state(0xC4B3);
+                    state->search->run_warmup(1);
+                    // One representative frame, re-appended each rep; a
+                    // fresh temp journal per setup keeps file growth off
+                    // the cross-run comparison.
+                    auto frame = std::make_shared<JournalFrame>();
+                    frame->phase = 0;
+                    frame->round = 0;
+                    frame->rng_cursor = std::string(32, 'r');
+                    frame->staleness_cursor = std::string(32, 's');
+                    const std::string path =
+                        (std::filesystem::temp_directory_path() /
+                         "fms_bench_journal_append.wal")
+                            .string();
+                    std::filesystem::remove(path);
+                    auto wal =
+                        std::make_shared<RoundJournal>(path, FaultPlan{});
+                    return [frame, wal] { wal->append(*frame); };
                   }});
 
   // --- macro: full federated rounds ---
