@@ -21,7 +21,10 @@
 #include "src/obs/alloc.h"
 #include "src/obs/health.h"
 #include "src/obs/profile.h"
+#include "src/obs/report.h"
+#include "src/obs/roofline.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/work.h"
 
 namespace {
 
@@ -79,6 +82,14 @@ const char* kUsage =
     "                        quorum failure, or any health CRIT transition\n"
     "  --flight-dump PATH    flight-recorder dump target\n"
     "                        (default fms_flight.jsonl)\n"
+    "  --report PATH         write a self-contained HTML run report; forces\n"
+    "                        --profile plus the work ledger, defaults\n"
+    "                        --trace-jsonl/--metrics-csv/--health-report to\n"
+    "                        PATH-derived sidecars when unset, and prints a\n"
+    "                        roofline summary line (bit-identical search)\n"
+    "  --peak-cache PATH     machine-peak calibration sidecar used by\n"
+    "                        --report (default fms_peak.json); calibrated\n"
+    "                        once and reused across runs\n"
     "\n"
     "robustness flags:\n"
     "  --aggregator SPEC     theta gradient estimator: mean (default),\n"
@@ -123,6 +134,8 @@ int main(int argc, char** argv) {
   std::string health_report;
   int flight_recorder = 0;
   std::string flight_dump;
+  std::string report_path;
+  std::string peak_cache = "fms_peak.json";
   std::uint64_t seed = 42;
   std::string fault_plan_spec;
   double quorum = 1.0;
@@ -198,6 +211,14 @@ int main(int argc, char** argv) {
       flight_dump = need_value("--flight-dump");
     } else if (const char* v4 = eq_value("--flight-dump")) {
       flight_dump = v4;
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = need_value("--report");
+    } else if (const char* v8 = eq_value("--report")) {
+      report_path = v8;
+    } else if (!std::strcmp(argv[i], "--peak-cache")) {
+      peak_cache = need_value("--peak-cache");
+    } else if (const char* v9 = eq_value("--peak-cache")) {
+      peak_cache = v9;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--fault-plan")) {
@@ -261,6 +282,15 @@ int main(int argc, char** argv) {
                  kUsage);
     return 2;
   }
+  // --report needs the profiler + work ledger on and the run's artifacts
+  // on disk; derive sidecar paths for any the user didn't name. Both
+  // ledgers observe only — the search trajectory stays bit-identical.
+  if (!report_path.empty()) {
+    profile = true;
+    if (trace_jsonl.empty()) trace_jsonl = report_path + ".trace.jsonl";
+    if (metrics_csv.empty()) metrics_csv = report_path + ".metrics.csv";
+    if (health_report.empty()) health_report = report_path + ".health.json";
+  }
 
   Rng rng(seed);
   SynthSpec spec;
@@ -289,6 +319,7 @@ int main(int argc, char** argv) {
   cfg.telemetry.trace_jsonl_path = trace_jsonl;
   cfg.telemetry.metrics_csv_path = metrics_csv;
   cfg.telemetry.profile = profile;
+  cfg.telemetry.work = !report_path.empty();
   cfg.telemetry.trace_chrome_path = trace_chrome;
   // The health monitor is always on in the CLI: it only observes the
   // round stream (bit-identical results) and the exit summary below is
@@ -511,6 +542,40 @@ int main(int argc, char** argv) {
         static_cast<double>(alloc.peak_live_bytes) / 1048576.0,
         static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
   }
+  if (!report_path.empty()) {
+    // Calibrate (or load the cached) machine peak and set the roofline
+    // gauges before finish() so they land in the metrics CSV snapshot.
+    const obs::MachinePeak peak = obs::load_or_calibrate(peak_cache);
+    obs::emit_roofline_telemetry(peak);
+    const obs::WorkReport work = obs::collect_work();
+    const obs::ProfileReport prof = obs::collect_profile();
+    const obs::WorkRow* top = nullptr;
+    for (const obs::WorkRow& row : work.rows) {
+      if (top == nullptr || row.cost.flops > top->cost.flops) top = &row;
+    }
+    if (top != nullptr && top->cost.flops > 0) {
+      std::uint64_t ns = 0;
+      for (const obs::ZoneStats& z : prof.zones) {
+        if (z.name == top->op) ns += z.incl_ns;
+      }
+      const double ai = obs::arithmetic_intensity(top->cost);
+      const double gf =
+          ns > 0 ? static_cast<double>(top->cost.flops) /
+                       static_cast<double>(ns)
+                 : 0.0;
+      const double roof = obs::roofline_gflops(peak, ai);
+      std::printf(
+          "roofline: vector %.2f GF/s scalar %.2f GF/s stream %.2f GB/s; "
+          "top %s %.3f GF/s AI %.2f (%.1f%% of roof)\n",
+          peak.vector_gflops, peak.scalar_gflops, peak.stream_gbps,
+          top->op.c_str(), gf, ai, roof > 0.0 ? 100.0 * gf / roof : 0.0);
+    } else {
+      std::printf(
+          "roofline: vector %.2f GF/s scalar %.2f GF/s stream %.2f GB/s; "
+          "no work recorded\n",
+          peak.vector_gflops, peak.scalar_gflops, peak.stream_gbps);
+    }
+  }
   obs::Telemetry::instance().finish();  // flush trace, write metrics CSV
   if (!trace_jsonl.empty()) {
     std::printf("telemetry trace written to %s\n", trace_jsonl.c_str());
@@ -521,6 +586,16 @@ int main(int argc, char** argv) {
   }
   if (!metrics_csv.empty()) {
     std::printf("metrics snapshot written to %s\n", metrics_csv.c_str());
+  }
+  if (!report_path.empty()) {
+    // The sidecars are flushed now; fuse them into the HTML report.
+    obs::ReportInputs ri;
+    ri.trace_jsonl_path = trace_jsonl;
+    ri.metrics_csv_path = metrics_csv;
+    ri.health_json_path = health_report;
+    ri.peak_json_path = peak_cache;
+    obs::write_report_html(ri, report_path);
+    std::printf("report written to %s\n", report_path.c_str());
   }
   return 0;
 }

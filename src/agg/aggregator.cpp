@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/profile.h"
+#include "src/obs/work.h"
 
 namespace fms::agg {
 namespace {
@@ -41,6 +42,7 @@ AggregationOutcome aggregate_mean(const std::vector<std::vector<float>>& u) {
   FMS_PROFILE_ZONE("agg.mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
+  FMS_WORK("agg.mean", obs::agg_mean_cost(u.size(), dim));
   const double inv_n = 1.0 / static_cast<double>(u.size());
   out.grad.assign(dim, 0.0F);
   for (std::size_t c = 0; c < dim; ++c) {
@@ -56,6 +58,7 @@ AggregationOutcome aggregate_clipped_mean(
   FMS_PROFILE_ZONE("agg.clipped_mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
+  FMS_WORK("agg.clipped_mean", obs::agg_clipped_mean_cost(u.size(), dim));
   std::vector<double> norms;
   norms.reserve(u.size());
   for (const auto& g : u) norms.push_back(l2_norm(g));
@@ -104,6 +107,8 @@ AggregationOutcome aggregate_coordinate_median(
   FMS_PROFILE_ZONE("agg.coordinate_median");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
+  FMS_WORK("agg.coordinate_median",
+           obs::agg_coordinate_median_cost(u.size(), dim));
   out.grad.assign(dim, 0.0F);
   std::vector<float> col;
   col.reserve(u.size());
@@ -128,6 +133,7 @@ AggregationOutcome aggregate_trimmed_mean(
   FMS_PROFILE_ZONE("agg.trimmed_mean");
   AggregationOutcome out;
   const std::size_t dim = u.front().size();
+  FMS_WORK("agg.trimmed_mean", obs::agg_trimmed_mean_cost(u.size(), dim));
   out.grad.assign(dim, 0.0F);
   std::vector<float> col;
   col.reserve(u.size());
@@ -190,6 +196,7 @@ AggregationOutcome aggregate_krum(const std::vector<std::vector<float>>& u,
   FMS_PROFILE_ZONE("agg.krum");
   AggregationOutcome out;
   const std::size_t n = u.size();
+  FMS_WORK("agg.krum", obs::agg_krum_cost(n, u.front().size()));
   if (n == 1) {
     out.grad = u.front();
     out.selected = {0};

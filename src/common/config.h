@@ -79,6 +79,10 @@ struct TelemetryConfig {
   // Off by default: the disabled path is one relaxed atomic load per zone
   // and search output is bit-identical either way.
   bool profile = false;
+  // Per-op FLOP/byte work ledger (src/obs/work). Same contract as the
+  // profiler: one relaxed atomic load per site when off, bit-identical
+  // search output either way.
+  bool work = false;
   // Causal round tracing (src/obs/trace_ctx): a non-empty path exports the
   // per-participant lifecycle as Chrome trace-event JSON (sim-time ticks;
   // load at ui.perfetto.dev). Bit-identical on/off, like the profiler.

@@ -2,6 +2,7 @@
 
 #include "src/obs/profile.h"
 #include "src/obs/span.h"
+#include "src/obs/work.h"
 
 namespace fms {
 
@@ -21,6 +22,7 @@ std::vector<float> compensate_weight_gradient(
   FMS_SPAN("dc.weight");
   FMS_CHECK(stale_grad.size() == fresh_w.size() &&
             stale_grad.size() == stale_w.size());
+  FMS_WORK("dc.weight", obs::dc_compensate_cost(stale_grad.size()));
   std::vector<float> out(stale_grad.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const float h = stale_grad[i];
@@ -36,6 +38,10 @@ AlphaPair compensate_alpha_gradient(const AlphaPair& stale_grad,
   FMS_SPAN("dc.alpha");
   FMS_CHECK(stale_grad.normal.size() == alpha_now.normal.size() &&
             stale_grad.normal.size() == alpha_stale.normal.size());
+  FMS_WORK("dc.alpha",
+           obs::dc_compensate_cost(
+               (stale_grad.normal.size() + stale_grad.reduce.size()) *
+               static_cast<std::size_t>(kNumOps)));
   AlphaPair out = stale_grad;
   auto apply = [lambda](AlphaTable& g, const AlphaTable& now,
                         const AlphaTable& stale) {

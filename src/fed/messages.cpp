@@ -1,6 +1,7 @@
 #include "src/fed/messages.h"
 
 #include "src/obs/profile.h"
+#include "src/obs/work.h"
 
 namespace fms {
 namespace {
@@ -29,11 +30,14 @@ std::vector<std::uint8_t> SubmodelMsg::serialize() const {
   w.write(round);
   write_mask(w, mask);
   w.write_vector(values);
-  return w.take();
+  std::vector<std::uint8_t> out = w.take();
+  FMS_WORK("fed.encode", obs::codec_cost(out.size()));
+  return out;
 }
 
 SubmodelMsg SubmodelMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
   FMS_PROFILE_ZONE("fed.decode");
+  FMS_WORK("fed.decode", obs::codec_cost(bytes.size()));
   ByteReader r(bytes);
   SubmodelMsg msg;
   msg.round = r.read<int>();
@@ -54,11 +58,14 @@ std::vector<std::uint8_t> UpdateMsg::serialize() const {
   w.write(loss);
   write_mask(w, mask);
   w.write_vector(grads);
-  return w.take();
+  std::vector<std::uint8_t> out = w.take();
+  FMS_WORK("fed.encode", obs::codec_cost(out.size()));
+  return out;
 }
 
 UpdateMsg UpdateMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
   FMS_PROFILE_ZONE("fed.decode");
+  FMS_WORK("fed.decode", obs::codec_cost(bytes.size()));
   ByteReader r(bytes);
   UpdateMsg msg;
   msg.round = r.read<int>();

@@ -9,6 +9,7 @@
 #include "src/obs/profile.h"
 #include "src/obs/span.h"
 #include "src/obs/trace_ctx.h"
+#include "src/obs/work.h"
 
 namespace fms {
 
@@ -67,6 +68,11 @@ LatencyStats transmission_latency(const std::vector<std::size_t>& model_bytes,
   FMS_PROFILE_ZONE("net.latency");
   const std::size_t k = bandwidth_bps.size();
   FMS_CHECK(assignment.size() == k && model_bytes.size() == k);
+  FMS_WORK("net.transmission", [&] {
+    std::uint64_t wire = 0;
+    for (const std::size_t b : model_bytes) wire += b;
+    return obs::net_transmission_cost(k, wire);
+  }());
   double avg_bytes = 0.0;
   for (std::size_t b : model_bytes) avg_bytes += static_cast<double>(b);
   avg_bytes /= static_cast<double>(k);

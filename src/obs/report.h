@@ -1,0 +1,63 @@
+// Run-report generator: fuses one run's observability artifacts — JSONL
+// trace, metrics CSV, health.json, BENCH_perf.json, BENCH_history.jsonl,
+// and the machine-peak sidecar — into a single self-contained HTML file
+// (inline CSS + SVG, no external references, no scripts).
+//
+// The generator is deterministic: the same input files produce the same
+// bytes (no timestamps, no absolute paths, no environment leakage), so
+// report HTML can be golden-file tested. Missing inputs degrade to "no
+// data" placeholders rather than errors — a report over a partial run is
+// still a report.
+//
+// Diff mode compares two runs' traces round-by-round and pinpoints the
+// first diverging round and field, the primitive behind `fms_report
+// --compare A B`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fms::obs {
+
+struct ReportInputs {
+  std::string title = "fms run report";
+  std::string trace_jsonl_path;
+  std::string metrics_csv_path;
+  std::string health_json_path;
+  std::string bench_json_path;
+  std::string history_jsonl_path;
+  std::string peak_json_path;
+};
+
+// Renders the report. Unreadable/absent inputs yield placeholder
+// sections; the call itself never throws on missing files.
+std::string generate_report_html(const ReportInputs& inputs);
+
+// generate + write. Throws fms::CheckError when out_path can't be opened.
+void write_report_html(const ReportInputs& inputs,
+                       const std::string& out_path);
+
+struct RunDiff {
+  bool identical = true;
+  int rounds_a = 0;
+  int rounds_b = 0;
+  int first_diverging_round = -1;   // -1 when identical
+  std::string first_diverging_field;
+  double value_a = 0.0;
+  double value_b = 0.0;
+  std::vector<std::string> notes;  // structural mismatches (round counts…)
+};
+
+// Compares the "round" events of two trace JSONL files in order,
+// field-by-field (exact values: two bit-identical runs diff clean).
+RunDiff diff_runs(const std::string& trace_a_path,
+                  const std::string& trace_b_path);
+
+// One-paragraph human-readable verdict.
+std::string diff_summary(const RunDiff& diff);
+
+// Self-contained diff HTML (same determinism contract as the report).
+std::string generate_diff_html(const RunDiff& diff, const std::string& name_a,
+                               const std::string& name_b);
+
+}  // namespace fms::obs

@@ -17,6 +17,7 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/obs/alloc.h"
+#include "src/obs/work.h"
 
 namespace fms {
 
@@ -142,6 +143,7 @@ class Tensor {
   // --- arithmetic (elementwise, shape-checked) ---
   Tensor& operator+=(const Tensor& o) {
     FMS_CHECK(same_shape(o));
+    FMS_WORK("tensor.axpy", obs::axpy_cost(data_.size()));
     for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
     return *this;
   }

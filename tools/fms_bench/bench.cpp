@@ -12,6 +12,7 @@
 #include "src/common/stopwatch.h"
 #include "src/obs/alloc.h"
 #include "src/obs/profile.h"
+#include "src/obs/work.h"
 
 namespace fms::bench {
 namespace {
@@ -164,6 +165,12 @@ BenchResult parse_result(JsonParser* p, const std::string& name) {
       r.bytes_alloc = static_cast<std::uint64_t>(p->parse_number());
     } else if (key == "allocs") {
       r.allocs = static_cast<std::uint64_t>(p->parse_number());
+    } else if (key == "flops") {
+      r.flops = static_cast<std::uint64_t>(p->parse_number());
+    } else if (key == "bytes_read") {
+      r.bytes_read = static_cast<std::uint64_t>(p->parse_number());
+    } else if (key == "bytes_written") {
+      r.bytes_written = static_cast<std::uint64_t>(p->parse_number());
     } else if (key == "iters") {
       r.iters = static_cast<int>(p->parse_number());
     } else if (key == "repeats") {
@@ -176,6 +183,8 @@ BenchResult parse_result(JsonParser* p, const std::string& name) {
             z.calls = static_cast<std::uint64_t>(p->parse_number());
           } else if (field == "incl_ns") {
             z.incl_ns = static_cast<std::uint64_t>(p->parse_number());
+          } else if (field == "excl_ns") {
+            z.excl_ns = static_cast<std::uint64_t>(p->parse_number());
           } else {
             p->skip_value();
           }
@@ -233,36 +242,47 @@ std::vector<BenchResult> run_benchmarks(
       // externally enabled profiling.
       const bool prof_was = obs::profiling_enabled();
       const bool alloc_was = obs::alloc_tracking_enabled();
+      const bool work_was = obs::work_tracking_enabled();
       const obs::AllocStats before_stats = obs::alloc_stats();
       obs::set_profiling_enabled(true);
       obs::set_alloc_tracking_enabled(true);
+      obs::set_work_tracking_enabled(true);
       obs::reset_profiler();
       obs::reset_alloc_stats();
+      obs::reset_work_ledger();
       for (int i = 0; i < bench.iters; ++i) iteration();
       const obs::AllocStats after = obs::alloc_stats();
       result.bytes_alloc = after.total_bytes;
       result.allocs = after.allocs;
+      const obs::WorkReport work = obs::collect_work();
+      result.flops = work.total.flops;
+      result.bytes_read = work.total.bytes_read;
+      result.bytes_written = work.total.bytes_written;
       const obs::ProfileReport report = obs::collect_profile();
       for (const obs::ZoneStats& z : report.zones) {
         // reset_profiler keeps the merged tree's shape, so zones from
         // earlier benchmarks reappear with zeroed counters; skip them.
         if (z.calls == 0 && z.allocs == 0) continue;
-        result.zones[z.path] = ZoneSummary{z.calls, z.incl_ns};
+        result.zones[z.path] = ZoneSummary{z.calls, z.incl_ns, z.excl_ns};
       }
       obs::set_profiling_enabled(prof_was);
       obs::set_alloc_tracking_enabled(alloc_was);
+      obs::set_work_tracking_enabled(work_was);
       obs::restore_alloc_stats(before_stats);
       obs::reset_profiler();
+      obs::reset_work_ledger();
     }
 
     if (log) {
-      char line[160];
+      char line[200];
       std::snprintf(line, sizeof(line),
                     "%-28s median %12.1f ns  p10 %12.1f  p90 %12.1f  "
-                    "alloc %8.1f KB",
+                    "alloc %8.1f KB  %7.3f GF/s  ai %5.2f",
                     result.name.c_str(), result.median_ns, result.p10_ns,
                     result.p90_ns,
-                    static_cast<double>(result.bytes_alloc) / 1024.0);
+                    static_cast<double>(result.bytes_alloc) / 1024.0,
+                    achieved_gflops(result),
+                    bench_arithmetic_intensity(result));
       log(line);
     }
     results.push_back(std::move(result));
@@ -290,6 +310,12 @@ std::string to_json(const std::vector<BenchResult>& results,
     append_json_number(&out, static_cast<double>(r.bytes_alloc));
     out += ", \"allocs\": ";
     append_json_number(&out, static_cast<double>(r.allocs));
+    out += ", \"flops\": ";
+    append_json_number(&out, static_cast<double>(r.flops));
+    out += ", \"bytes_read\": ";
+    append_json_number(&out, static_cast<double>(r.bytes_read));
+    out += ", \"bytes_written\": ";
+    append_json_number(&out, static_cast<double>(r.bytes_written));
     out += ", \"iters\": ";
     append_json_number(&out, r.iters);
     out += ", \"repeats\": ";
@@ -304,6 +330,8 @@ std::string to_json(const std::vector<BenchResult>& results,
       append_json_number(&out, static_cast<double>(z.calls));
       out += ", \"incl_ns\": ";
       append_json_number(&out, static_cast<double>(z.incl_ns));
+      out += ", \"excl_ns\": ";
+      append_json_number(&out, static_cast<double>(z.excl_ns));
       out += "}";
     }
     out += "}}";
@@ -375,6 +403,50 @@ CompareOutcome compare_bench_files(const BenchFile& oldf,
     }
   }
   return out;
+}
+
+double achieved_gflops(const BenchResult& r) {
+  if (r.flops == 0 || r.iters <= 0 || r.median_ns <= 0.0) return 0.0;
+  const double flops_per_iter =
+      static_cast<double>(r.flops) / static_cast<double>(r.iters);
+  return flops_per_iter / r.median_ns;  // FLOPs/ns == GFLOP/s
+}
+
+double bench_arithmetic_intensity(const BenchResult& r) {
+  const std::uint64_t bytes = r.bytes_read + r.bytes_written;
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(r.flops) / static_cast<double>(bytes);
+}
+
+std::string history_row_json(const std::vector<BenchResult>& results,
+                             const std::string& git_sha,
+                             long long timestamp_unix) {
+  std::string out = "{\"schema\": 1, \"git_sha\": ";
+  append_json_string(&out, git_sha);
+  out += ", \"timestamp_unix\": ";
+  append_json_number(&out, static_cast<double>(timestamp_unix));
+  out += ", \"benchmarks\": {";
+  bool first = true;
+  for (const BenchResult& r : results) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(&out, r.name);
+    out += ": {\"median_ns\": ";
+    append_json_number(&out, r.median_ns);
+    out += ", \"gflops\": ";
+    append_json_number(&out, achieved_gflops(r));
+    out += ", \"ai\": ";
+    append_json_number(&out, bench_arithmetic_intensity(r));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void append_history_row(const std::string& path, const std::string& row) {
+  std::ofstream f(path, std::ios::app);
+  FMS_CHECK_MSG(f.good(), "cannot open history file " << path);
+  f << row << "\n";
 }
 
 std::string format_compare(const CompareOutcome& outcome) {

@@ -34,6 +34,7 @@ struct Benchmark {
 struct ZoneSummary {
   std::uint64_t calls = 0;
   std::uint64_t incl_ns = 0;
+  std::uint64_t excl_ns = 0;  // incl minus child zones (no double count)
 };
 
 struct BenchResult {
@@ -45,10 +46,22 @@ struct BenchResult {
   // of the accounting pass — deterministic for a fixed seed and config.
   std::uint64_t bytes_alloc = 0;
   std::uint64_t allocs = 0;
+  // Work-ledger totals across ONE full repetition of the accounting
+  // pass (src/obs/work conventions; exact and deterministic).
+  std::uint64_t flops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
   int iters = 0;
   int repeats = 0;
   std::map<std::string, ZoneSummary> zones;  // profiler path -> summary
 };
+
+// Achieved GFLOP/s at the measured median: flops are per repetition,
+// median_ns is per iteration, so (flops / iters) / median_ns is exactly
+// FLOPs-per-nanosecond = GFLOP/s. 0 when the benchmark records no work.
+double achieved_gflops(const BenchResult& r);
+// FLOPs per byte moved (read + written); 0 when no bytes were recorded.
+double bench_arithmetic_intensity(const BenchResult& r);
 
 struct RunOptions {
   int repeats = 9;
@@ -105,5 +118,18 @@ struct CompareOutcome {
 CompareOutcome compare_bench_files(const BenchFile& oldf,
                                    const BenchFile& newf, double gate_pct);
 std::string format_compare(const CompareOutcome& outcome);
+
+// --- BENCH_history.jsonl ---
+
+// One appendable history row: {"schema": 1, "git_sha": ..,
+// "timestamp_unix": .., "benchmarks": {name: {"median_ns": ..,
+// "gflops": .., "ai": ..}, ..}} on a single line.
+std::string history_row_json(const std::vector<BenchResult>& results,
+                             const std::string& git_sha,
+                             long long timestamp_unix);
+
+// Appends `row` (newline-terminated) to `path`. Throws fms::CheckError
+// when the file cannot be opened for append.
+void append_history_row(const std::string& path, const std::string& row);
 
 }  // namespace fms::bench

@@ -17,6 +17,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/profile.h"
+#include "src/obs/roofline.h"
 #include "tools/fms_bench/bench.h"
 
 namespace {
@@ -34,6 +35,11 @@ options:
   --profile       print the merged self-time table after the run
   --list          list benchmark names and exit
   --gate PCT      regression gate percentage for --compare (default 10)
+  --history PATH  append one {sha, timestamp, per-bench medians} row
+  --git-sha SHA   git sha recorded in the history row (default unknown)
+  --timestamp T   unix timestamp for the outputs (default: current time)
+  --peak PATH     machine-peak sidecar; calibrates + caches when absent,
+                  then prints a per-benchmark %%-of-roofline table
 )";
 
 int run_compare(const std::string& old_path, const std::string& new_path,
@@ -52,6 +58,10 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_perf.json";
   std::string compare_old;
   std::string compare_new;
+  std::string history_path;
+  std::string git_sha = "unknown";
+  std::string peak_path;
+  long long stamp_override = -1;
   bool list_only = false;
   bool profile_table = false;
   double gate_pct = 10.0;
@@ -81,6 +91,14 @@ int main(int argc, char** argv) {
         list_only = true;
       } else if (std::strcmp(arg, "--gate") == 0) {
         gate_pct = std::stod(need_value("--gate"));
+      } else if (std::strcmp(arg, "--history") == 0) {
+        history_path = need_value("--history");
+      } else if (std::strcmp(arg, "--git-sha") == 0) {
+        git_sha = need_value("--git-sha");
+      } else if (std::strcmp(arg, "--timestamp") == 0) {
+        stamp_override = std::stoll(need_value("--timestamp"));
+      } else if (std::strcmp(arg, "--peak") == 0) {
+        peak_path = need_value("--peak");
       } else if (std::strcmp(arg, "--compare") == 0) {
         compare_old = need_value("--compare");
         FMS_CHECK_MSG(i + 1 < argc, "--compare needs OLD and NEW paths");
@@ -125,13 +143,44 @@ int main(int argc, char** argv) {
 
     // Wall-clock stamp so archived BENCH_perf.json files order
     // themselves into a trajectory; it never influences a measurement.
-    // fms-lint: allow(wall-clock) -- metadata timestamp, not measurement
-    const long long stamp = static_cast<long long>(std::time(nullptr));
+    // --timestamp overrides it for reproducible artifacts (CI, tests).
+    const long long stamp =
+        stamp_override >= 0
+            ? stamp_override
+            : static_cast<long long>(std::time(nullptr));  // fms-lint: allow(wall-clock) -- metadata timestamp, not measurement
     std::ofstream f(out_path);
     FMS_CHECK_MSG(f.good(), "cannot open " << out_path);
     f << fms::bench::to_json(results, stamp);
     std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
                 results.size());
+
+    if (!history_path.empty()) {
+      fms::bench::append_history_row(
+          history_path,
+          fms::bench::history_row_json(results, git_sha, stamp));
+      std::printf("appended history row to %s (sha %s)\n",
+                  history_path.c_str(), git_sha.c_str());
+    }
+
+    if (!peak_path.empty()) {
+      const fms::obs::MachinePeak peak =
+          fms::obs::load_or_calibrate(peak_path);
+      std::printf(
+          "\nmachine peak: vector %.2f GF/s  scalar %.2f GF/s  "
+          "stream %.2f GB/s\n",
+          peak.vector_gflops, peak.scalar_gflops, peak.stream_gbps);
+      std::printf("%-28s %10s %8s %8s\n", "benchmark", "GF/s", "ai",
+                  "%roof");
+      for (const fms::bench::BenchResult& r : results) {
+        const double gf = fms::bench::achieved_gflops(r);
+        if (gf <= 0.0) continue;
+        const double ai = fms::bench::bench_arithmetic_intensity(r);
+        const double roof = fms::obs::roofline_gflops(peak, ai);
+        const double pct = roof > 0.0 ? 100.0 * gf / roof : 0.0;
+        std::printf("%-28s %10.3f %8.2f %7.1f%%\n", r.name.c_str(), gf,
+                    ai, pct);
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fms_bench: %s\n%s", e.what(), kUsage);
